@@ -1,0 +1,69 @@
+// Command harebench regenerates the paper's evaluation tables and figures
+// on the synthetic dataset suite.
+//
+// Usage:
+//
+//	harebench -exp table3                       # one experiment
+//	harebench -exp all -scale 0.25              # the whole evaluation
+//	harebench -exp fig11 -datasets wikitalk,sms-a -threads 1,2,4,8
+//
+// Experiments: table2, table3, fig9, fig10, fig11, fig12a, fig12b, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hare/internal/bench"
+	"hare/internal/temporal"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (see package doc)")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
+		delta    = flag.Int64("delta", 600, "δ in seconds")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's paper set)")
+		threads  = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread sweep")
+		seed     = flag.Int64("seed", 0, "seed offset for the generated datasets")
+	)
+	flag.Parse()
+	ths, err := parseInts(*threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "harebench: -threads:", err)
+		os.Exit(2)
+	}
+	opts := bench.Options{
+		Out:     os.Stdout,
+		Scale:   *scale,
+		Delta:   temporal.Timestamp(*delta),
+		Threads: ths,
+		Seed:    *seed,
+	}
+	if *datasets != "" {
+		opts.Datasets = strings.Split(*datasets, ",")
+	}
+	if err := bench.Run(*exp, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "harebench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

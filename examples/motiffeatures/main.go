@@ -1,0 +1,143 @@
+// Motif features: per-node motif count vectors are structural embeddings
+// (the paper's network-representation-learning motivation). This example
+// builds a graph with three behavioural populations — broadcasters,
+// conversationalists and triangle-forming cliques — computes each node's
+// 36-dimensional motif vector, and shows that simple cosine similarity on
+// those vectors separates the populations without any labels.
+//
+//	go run ./examples/motiffeatures
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"hare"
+)
+
+const (
+	perGroup = 40
+	delta    = 500
+)
+
+func main() {
+	g, roles := buildPopulations()
+	fmt.Printf("graph: %d nodes, %d edges; 3 behavioural populations × %d members\n\n",
+		g.NumNodes(), g.NumEdges(), perGroup)
+
+	// 36-dimensional motif vector per node (log-damped).
+	vecs := make(map[hare.NodeID][]float64)
+	for u := range roles {
+		m, err := hare.CountNode(g, u, delta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v := make([]float64, 0, 36)
+		for _, l := range hare.AllLabels() {
+			v = append(v, math.Log1p(float64(m.At(l))))
+		}
+		vecs[u] = v
+	}
+
+	// For every node: does its nearest neighbour (cosine) share its role?
+	correct, total := 0, 0
+	agreeByRole := map[string][2]int{}
+	for u, vu := range vecs {
+		bestSim, bestNode := -2.0, hare.NodeID(-1)
+		for w, vw := range vecs {
+			if w == u {
+				continue
+			}
+			if s := cosine(vu, vw); s > bestSim {
+				bestSim, bestNode = s, w
+			}
+		}
+		if bestNode < 0 {
+			continue
+		}
+		total++
+		pair := agreeByRole[roles[u]]
+		pair[1]++
+		if roles[u] == roles[bestNode] {
+			correct++
+			pair[0]++
+		}
+		agreeByRole[roles[u]] = pair
+	}
+	fmt.Printf("nearest-neighbour role agreement: %d/%d (%.1f%%)\n",
+		correct, total, 100*float64(correct)/float64(total))
+	for _, role := range []string{"broadcaster", "conversationalist", "clique"} {
+		p := agreeByRole[role]
+		fmt.Printf("  %-18s %d/%d\n", role, p[0], p[1])
+	}
+	if float64(correct)/float64(total) < 0.7 {
+		log.Fatal("motif vectors failed to separate the populations")
+	}
+	fmt.Println("\nmotif vectors alone recover behavioural roles — the structure-preserving")
+	fmt.Println("property that makes exact counts preferable to sampling for embeddings.")
+}
+
+// buildPopulations wires three behaviours onto disjoint node groups over a
+// shared pool of peripheral nodes.
+func buildPopulations() (*hare.Graph, map[hare.NodeID]string) {
+	r := rand.New(rand.NewSource(5))
+	roles := make(map[hare.NodeID]string)
+	b := hare.NewBuilder(0)
+	var t hare.Timestamp
+	next := func() hare.Timestamp { t += hare.Timestamp(1 + r.Intn(20)); return t }
+	peripheralBase := hare.NodeID(3 * perGroup)
+	peripheral := func() hare.NodeID { return peripheralBase + hare.NodeID(r.Intn(500)) }
+
+	for i := 0; i < perGroup; i++ {
+		// Broadcasters: bursts of outgoing edges to many targets.
+		u := hare.NodeID(i)
+		roles[u] = "broadcaster"
+		for burst := 0; burst < 6; burst++ {
+			t0 := next()
+			for k := 0; k < 5; k++ {
+				_ = b.AddEdge(u, peripheral(), t0+hare.Timestamp(k*7))
+			}
+		}
+		// Conversationalists: long back-and-forth pair exchanges.
+		v := hare.NodeID(perGroup + i)
+		roles[v] = "conversationalist"
+		partner := peripheral()
+		for burst := 0; burst < 6; burst++ {
+			t0 := next()
+			for k := 0; k < 5; k++ {
+				if k%2 == 0 {
+					_ = b.AddEdge(v, partner, t0+hare.Timestamp(k*9))
+				} else {
+					_ = b.AddEdge(partner, v, t0+hare.Timestamp(k*9))
+				}
+			}
+		}
+		// Clique members: repeated fast triangles with two peers.
+		w := hare.NodeID(2*perGroup + i)
+		roles[w] = "clique"
+		p1 := hare.NodeID(2*perGroup + (i+1)%perGroup)
+		p2 := hare.NodeID(2*perGroup + (i+2)%perGroup)
+		for burst := 0; burst < 6; burst++ {
+			t0 := next()
+			_ = b.AddEdge(w, p1, t0)
+			_ = b.AddEdge(p1, p2, t0+11)
+			_ = b.AddEdge(p2, w, t0+23)
+		}
+	}
+	return b.Build(), roles
+}
+
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

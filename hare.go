@@ -1,0 +1,227 @@
+// Package hare is a scalable exact counter for δ-temporal motifs in large
+// temporal graphs, reproducing "Scalable Motif Counting for Large-scale
+// Temporal Graphs" (Gao et al., ICDE 2022).
+//
+// A temporal graph is a multiset of directed timestamped edges. Given a time
+// window δ, hare exactly counts the instances of all 36 2-/3-node 3-edge
+// δ-temporal motifs (the M11..M66 grid of Paranjape et al.) using the FAST
+// algorithms and, optionally, the HARE hierarchical parallel framework:
+//
+//	g, err := hare.LoadFile("edges.txt", hare.LoadOptions{})
+//	...
+//	res, err := hare.Count(g, 600, hare.WithWorkers(8))
+//	fmt.Println(res.Matrix.At(hare.MustLabel("M26"))) // temporal cycles
+//
+// The package is pure Go (stdlib only) and deterministic: ties between equal
+// timestamps are broken by input order, identically in every algorithm.
+package hare
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"hare/internal/engine"
+	"hare/internal/fast"
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+// Re-exported core types. Aliases keep the public surface in one import
+// path while the implementation lives in internal packages.
+type (
+	// Graph is an immutable directed temporal multigraph.
+	Graph = temporal.Graph
+	// Builder accumulates edges and builds a Graph.
+	Builder = temporal.Builder
+	// Edge is a directed timestamped edge.
+	Edge = temporal.Edge
+	// NodeID identifies a node (dense non-negative integers).
+	NodeID = temporal.NodeID
+	// Timestamp is an edge time in integer units (conventionally seconds).
+	Timestamp = temporal.Timestamp
+	// LoadOptions controls edge-list parsing.
+	LoadOptions = temporal.LoadOptions
+	// Stats summarises a graph (Table II columns).
+	Stats = temporal.Stats
+	// Matrix holds per-motif counts in the paper's 6×6 grid.
+	Matrix = motif.Matrix
+	// Label names a motif cell, e.g. Label{Row:2, Col:6} = M26.
+	Label = motif.Label
+	// Category is the motif topology class (pair, star, triangle).
+	Category = motif.Category
+)
+
+// Motif category constants.
+const (
+	CategoryPair = motif.CategoryPair
+	CategoryStar = motif.CategoryStar
+	CategoryTri  = motif.CategoryTri
+)
+
+// NewBuilder returns a Builder with capacity for n edges.
+func NewBuilder(n int) *Builder { return temporal.NewBuilder(n) }
+
+// FromEdges builds a Graph from an edge slice (self-loops are dropped).
+func FromEdges(edges []Edge) *Graph { return temporal.FromEdges(edges) }
+
+// LoadFile reads a whitespace-separated "u v t" edge list (gzip transparent).
+func LoadFile(path string, opts LoadOptions) (*Graph, error) {
+	return temporal.LoadFile(path, opts)
+}
+
+// ReadEdgeList parses an edge list from a reader.
+func ReadEdgeList(r io.Reader, opts LoadOptions) (*Graph, error) {
+	return temporal.ReadEdgeList(r, opts)
+}
+
+// SaveFile writes a graph as an edge list (gzip when the path ends in .gz).
+func SaveFile(path string, g *Graph) error { return temporal.SaveFile(path, g) }
+
+// ComputeStats returns summary statistics (topK bounds the top-degree list).
+func ComputeStats(g *Graph, topK int) Stats { return temporal.ComputeStats(g, topK) }
+
+// ParseLabel parses a motif name like "M26".
+func ParseLabel(s string) (Label, error) { return motif.ParseLabel(s) }
+
+// MustLabel is ParseLabel for known-good literals; it panics on error.
+func MustLabel(s string) Label {
+	l, err := motif.ParseLabel(s)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// AllLabels returns the 36 motif labels in grid order.
+func AllLabels() []Label { return motif.AllLabels() }
+
+// Result is the outcome of a counting run.
+type Result struct {
+	// Matrix holds the exact per-motif instance counts.
+	Matrix Matrix
+	// Elapsed is the wall-clock counting time (excluding graph loading).
+	Elapsed time.Duration
+	// Workers is the number of worker goroutines used.
+	Workers int
+	// DegreeThreshold is the effective thrd (0 when single-threaded).
+	DegreeThreshold int
+}
+
+// Option configures Count.
+type Option func(*config)
+
+type config struct {
+	workers  int
+	thrd     int
+	only     motif.Category
+	hasOnly  bool
+	schedule engine.Schedule
+}
+
+// WithWorkers sets the number of worker goroutines. 0 (default) selects
+// GOMAXPROCS; 1 forces the sequential FAST algorithms (which use the
+// center-removal triangle optimisation).
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithDegreeThreshold sets HARE's degree threshold thrd explicitly. The
+// default derives it from the top-20 node degrees; a negative value disables
+// intra-node parallelism.
+func WithDegreeThreshold(t int) Option { return func(c *config) { c.thrd = t } }
+
+// WithOnly restricts counting to one motif category (pair and star motifs
+// are always counted together — they share Algorithm 1 — so CategoryPair and
+// CategoryStar are equivalent here, and the non-requested categories are
+// simply zero in the result).
+func WithOnly(cat Category) Option {
+	return func(c *config) { c.only, c.hasOnly = cat, true }
+}
+
+// WithStaticSchedule switches HARE's inter-node stage to static node
+// assignment (the paper's "without thrd" ablation uses this mode).
+func WithStaticSchedule() Option {
+	return func(c *config) { c.schedule = engine.ScheduleStatic }
+}
+
+// Count exactly counts all δ-temporal motif instances in g.
+func Count(g *Graph, delta Timestamp, opts ...Option) (Result, error) {
+	if g == nil {
+		return Result{}, fmt.Errorf("hare: nil graph")
+	}
+	if delta < 0 {
+		return Result{}, fmt.Errorf("hare: negative δ (%d)", delta)
+	}
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	workers := c.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	doStar := !c.hasOnly || c.only == CategoryPair || c.only == CategoryStar
+	doTri := !c.hasOnly || c.only == CategoryTri
+
+	start := time.Now()
+	var res Result
+	if workers == 1 && c.schedule == engine.ScheduleDynamic && c.thrd == 0 {
+		counts := sequential(g, delta, doStar, doTri)
+		res.Matrix = counts.ToMatrix()
+	} else {
+		eo := engine.Options{Workers: workers, DegreeThreshold: c.thrd, Schedule: c.schedule}
+		var counts *motif.Counts
+		switch {
+		case doStar && doTri:
+			counts = engine.Count(g, delta, eo)
+		case doStar:
+			counts = engine.CountStarPair(g, delta, eo)
+		default:
+			counts = engine.CountTri(g, delta, eo)
+		}
+		res.Matrix = counts.ToMatrix()
+		res.DegreeThreshold = c.thrd
+	}
+	res.Elapsed = time.Since(start)
+	res.Workers = workers
+	if !c.hasOnly {
+		return res, nil
+	}
+	// Zero out non-requested categories for the restricted modes.
+	for _, l := range motif.AllLabels() {
+		keep := l.Category() == c.only ||
+			(c.only == CategoryPair && l.Category() == CategoryStar) ||
+			(c.only == CategoryStar && l.Category() == CategoryPair)
+		if !keep {
+			res.Matrix.Set(l, 0)
+		}
+	}
+	return res, nil
+}
+
+func sequential(g *Graph, delta Timestamp, doStar, doTri bool) *motif.Counts {
+	counts := &motif.Counts{TriMultiplicity: 1}
+	s := fast.NewScratch()
+	for u := 0; u < g.NumNodes(); u++ {
+		if doStar {
+			fast.CountStarPairNode(g, NodeID(u), delta, counts, s)
+		}
+		if doTri {
+			fast.CountTriNode(g, NodeID(u), delta, &counts.Tri, true)
+		}
+	}
+	return counts
+}
+
+// CountNode returns the motif counts in which node u participates as the
+// counting center: stars centered at u, pairs incident to u, and every
+// triangle containing u. Useful as a structural feature vector for one node.
+func CountNode(g *Graph, u NodeID, delta Timestamp) (Matrix, error) {
+	if g == nil {
+		return Matrix{}, fmt.Errorf("hare: nil graph")
+	}
+	if u < 0 || int(u) >= g.NumNodes() {
+		return Matrix{}, fmt.Errorf("hare: node %d out of range [0,%d)", u, g.NumNodes())
+	}
+	return fast.NodeProfile(g, u, delta), nil
+}

@@ -1,0 +1,190 @@
+package hare_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hare"
+)
+
+func fig1Graph() *hare.Graph {
+	return hare.FromEdges([]hare.Edge{
+		{From: 4, To: 3, Time: 1},
+		{From: 0, To: 2, Time: 4},
+		{From: 4, To: 2, Time: 6},
+		{From: 0, To: 2, Time: 8},
+		{From: 3, To: 0, Time: 9},
+		{From: 3, To: 2, Time: 10},
+		{From: 0, To: 1, Time: 11},
+		{From: 3, To: 4, Time: 14},
+		{From: 0, To: 2, Time: 15},
+		{From: 2, To: 3, Time: 17},
+		{From: 4, To: 3, Time: 18},
+		{From: 3, To: 4, Time: 21},
+	})
+}
+
+func randomGraph(seed int64, nodes, edges int, span int64) *hare.Graph {
+	r := rand.New(rand.NewSource(seed))
+	b := hare.NewBuilder(edges)
+	for i := 0; i < edges; i++ {
+		u := hare.NodeID(r.Intn(nodes))
+		v := hare.NodeID(r.Intn(nodes))
+		if u == v {
+			v = (v + 1) % hare.NodeID(nodes)
+		}
+		_ = b.AddEdge(u, v, r.Int63n(span))
+	}
+	return b.Build()
+}
+
+func TestCountFig1(t *testing.T) {
+	g := fig1Graph()
+	res, err := hare.Count(g, 10, hare.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"M63", "M46", "M65"} {
+		if res.Matrix.At(hare.MustLabel(name)) < 1 {
+			t.Errorf("%s missing from Fig. 1 counts", name)
+		}
+	}
+	if res.Workers != 1 {
+		t.Errorf("workers = %d", res.Workers)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+}
+
+func TestCountParallelEqualsSequential(t *testing.T) {
+	g := randomGraph(1, 25, 600, 120)
+	seq, err := hare.Count(g, 30, hare.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]hare.Option{
+		{hare.WithWorkers(4)},
+		{hare.WithWorkers(8), hare.WithDegreeThreshold(10)},
+		{hare.WithWorkers(3), hare.WithStaticSchedule()},
+		{},
+	} {
+		par, err := hare.Count(g, 30, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !par.Matrix.Equal(&seq.Matrix) {
+			t.Fatalf("parallel result differs: %v", par.Matrix.Diff(&seq.Matrix))
+		}
+	}
+}
+
+func TestCountOnlyCategory(t *testing.T) {
+	g := randomGraph(2, 15, 400, 80)
+	full, err := hare.Count(g, 25, hare.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, err := hare.Count(g, 25, hare.WithWorkers(2), hare.WithOnly(hare.CategoryTri))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri.Matrix.CategoryTotal(hare.CategoryTri) != full.Matrix.CategoryTotal(hare.CategoryTri) {
+		t.Error("triangle-only counts differ from full run")
+	}
+	if tri.Matrix.CategoryTotal(hare.CategoryStar) != 0 || tri.Matrix.CategoryTotal(hare.CategoryPair) != 0 {
+		t.Error("triangle-only run leaked other categories")
+	}
+	pair, err := hare.Count(g, 25, hare.WithOnly(hare.CategoryPair))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Matrix.CategoryTotal(hare.CategoryPair) != full.Matrix.CategoryTotal(hare.CategoryPair) {
+		t.Error("pair-only counts differ from full run")
+	}
+	if pair.Matrix.CategoryTotal(hare.CategoryTri) != 0 {
+		t.Error("pair-only run leaked triangles")
+	}
+}
+
+func TestCountErrors(t *testing.T) {
+	if _, err := hare.Count(nil, 10); err == nil {
+		t.Error("want error for nil graph")
+	}
+	g := fig1Graph()
+	if _, err := hare.Count(g, -1); err == nil {
+		t.Error("want error for negative δ")
+	}
+	if _, err := hare.CountNode(nil, 0, 10); err == nil {
+		t.Error("want error for nil graph in CountNode")
+	}
+	if _, err := hare.CountNode(g, 99, 10); err == nil {
+		t.Error("want error for out-of-range node")
+	}
+}
+
+func TestCountNode(t *testing.T) {
+	g := fig1Graph()
+	m, err := hare.CountNode(g, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CategoryTotal(hare.CategoryStar) != 4 {
+		t.Errorf("node a star profile = %d, want 4", m.CategoryTotal(hare.CategoryStar))
+	}
+}
+
+func TestLoadSaveRoundTrip(t *testing.T) {
+	g := fig1Graph()
+	path := t.TempDir() + "/g.txt"
+	if err := hare.SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := hare.LoadFile(path, hare.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges = %d, want %d", g2.NumEdges(), g.NumEdges())
+	}
+	a, _ := hare.Count(g, 10, hare.WithWorkers(1))
+	b, _ := hare.Count(g2, 10, hare.WithWorkers(1))
+	if !a.Matrix.Equal(&b.Matrix) {
+		t.Error("round-tripped graph counts differently")
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	g, err := hare.ReadEdgeList(strings.NewReader("0 1 5\n1 0 6\n0 1 7\n"), hare.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hare.Count(g, 10, hare.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matrix.At(hare.MustLabel("M65")) != 1 {
+		t.Fatalf("M65 = %d, want 1", res.Matrix.At(hare.MustLabel("M65")))
+	}
+}
+
+func TestStatsAndLabels(t *testing.T) {
+	g := fig1Graph()
+	st := hare.ComputeStats(g, 5)
+	if st.Edges != 12 || st.Nodes != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(hare.AllLabels()) != 36 {
+		t.Fatal("AllLabels size wrong")
+	}
+	if _, err := hare.ParseLabel("M99"); err == nil {
+		t.Fatal("want parse error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLabel should panic on bad input")
+		}
+	}()
+	hare.MustLabel("bogus")
+}

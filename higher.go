@@ -1,0 +1,57 @@
+package hare
+
+import (
+	"hare/internal/higher"
+	"hare/internal/temporal"
+)
+
+// Star4Counter holds counts of 4-node, 3-edge δ-temporal star motifs — the
+// first step of the paper's higher-order future-work direction — indexed by
+// the direction pattern of the chronologically ordered edges relative to
+// the center (8 non-isomorphic motifs).
+type Star4Counter = higher.Star4Counter
+
+// CountStar4 exactly counts the 4-node, 3-edge star motifs in g: a center
+// node with three in-window edges to three distinct neighbors. It derives
+// the counts from the same counter family as Count (see
+// internal/higher for the decomposition identity) and shares its exactness
+// guarantees.
+func CountStar4(g *Graph, delta Timestamp) (Star4Counter, error) {
+	if g == nil {
+		return Star4Counter{}, errNilGraph
+	}
+	if delta < 0 {
+		return Star4Counter{}, errNegativeDelta(delta)
+	}
+	return higher.Count(g, delta), nil
+}
+
+var errNilGraph = temporalError("nil graph")
+
+type temporalError string
+
+func (e temporalError) Error() string { return "hare: " + string(e) }
+
+func errNegativeDelta(d temporal.Timestamp) error {
+	return temporalError("negative δ")
+}
+
+// Path4Counter holds counts of the 24 non-isomorphic 4-node, 3-edge
+// δ-temporal path motifs.
+type Path4Counter = higher.PathCounter
+
+// Path4Label identifies one 4-node path motif.
+type Path4Label = higher.PathLabel
+
+// CountPath4 exactly counts the 4-node, 3-edge path motifs in g (edges
+// a–b, b–c, c–d over four distinct nodes within δ). Together with
+// CountStar4 this covers every connected 4-node 3-edge motif.
+func CountPath4(g *Graph, delta Timestamp) (Path4Counter, error) {
+	if g == nil {
+		return Path4Counter{}, errNilGraph
+	}
+	if delta < 0 {
+		return Path4Counter{}, errNegativeDelta(delta)
+	}
+	return higher.CountPaths(g, delta), nil
+}

@@ -1,0 +1,235 @@
+// Package bt implements the chronological edge-driven backtracking algorithm
+// for temporal subgraph isomorphism of Mackey et al. (IEEE Big Data 2018),
+// the paper's "BT" baseline.
+//
+// A 3-edge motif is expressed as a Pattern: a chronological sequence of
+// pattern edges over node variables. Matching walks the data edges in
+// chronological (EdgeID) order: the first pattern edge ranges over all data
+// edges; each subsequent pattern edge extends the partial match with a later
+// data edge consistent with the variable binding and the δ window. Node
+// variables bind injectively.
+//
+// The matcher also powers the sampling baselines: BTS re-runs it inside
+// sampled time windows and EWS anchors it on sampled first edges.
+package bt
+
+import (
+	"fmt"
+	"sort"
+
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+// Pattern is a chronological 3-edge motif pattern over NumVars node
+// variables (2 for pairs, 3 for stars and triangles). Edges[k] holds the
+// (source, destination) variable indexes of the k-th edge in time order.
+type Pattern struct {
+	Edges   [3][2]uint8
+	NumVars int
+}
+
+// String renders the pattern, e.g. "(0->1)(1->2)(2->0)".
+func (p Pattern) String() string {
+	s := ""
+	for _, e := range p.Edges {
+		s += fmt.Sprintf("(%d->%d)", e[0], e[1])
+	}
+	return s
+}
+
+var patternByLabel map[motif.Label]Pattern
+
+func init() {
+	patternByLabel = make(map[motif.Label]Pattern, 36)
+	// Topology templates covering all 36 motifs; directions are flipped
+	// exhaustively. Variable 0 plays the pair endpoint / star center /
+	// first triangle corner.
+	templates := []struct {
+		vars  int
+		pairs [3][2]uint8
+	}{
+		{2, [3][2]uint8{{0, 1}, {0, 1}, {0, 1}}}, // pair
+		{3, [3][2]uint8{{0, 1}, {0, 2}, {0, 2}}}, // star, isolated first
+		{3, [3][2]uint8{{0, 2}, {0, 1}, {0, 2}}}, // star, isolated second
+		{3, [3][2]uint8{{0, 2}, {0, 2}, {0, 1}}}, // star, isolated third
+		{3, [3][2]uint8{{0, 1}, {0, 2}, {1, 2}}}, // triangle, pair 01 first
+		{3, [3][2]uint8{{0, 1}, {1, 2}, {0, 2}}}, // triangle, pair 02 last
+		{3, [3][2]uint8{{1, 2}, {0, 1}, {0, 2}}}, // triangle, pair 12 first
+	}
+	for _, tpl := range templates {
+		for mask := 0; mask < 8; mask++ {
+			var p Pattern
+			p.NumVars = tpl.vars
+			var rep [3]temporal.Edge
+			for k := 0; k < 3; k++ {
+				src, dst := tpl.pairs[k][0], tpl.pairs[k][1]
+				if mask>>k&1 == 1 {
+					src, dst = dst, src
+				}
+				p.Edges[k] = [2]uint8{src, dst}
+				rep[k] = temporal.Edge{
+					From: temporal.NodeID(src),
+					To:   temporal.NodeID(dst),
+					Time: temporal.Timestamp(k + 1),
+				}
+			}
+			l, ok := motif.Classify(rep[0], rep[1], rep[2])
+			if !ok {
+				panic("bt: template does not classify: " + p.String())
+			}
+			if _, dup := patternByLabel[l]; !dup {
+				patternByLabel[l] = p
+			}
+		}
+	}
+	if len(patternByLabel) != 36 {
+		panic(fmt.Sprintf("bt: derived %d patterns, want 36", len(patternByLabel)))
+	}
+}
+
+// PatternOf returns the matching pattern for a motif label.
+func PatternOf(l motif.Label) (Pattern, bool) {
+	p, ok := patternByLabel[l]
+	return p, ok
+}
+
+// matcher holds the state of one backtracking run.
+type matcher struct {
+	g       *temporal.Graph
+	delta   temporal.Timestamp
+	pattern Pattern
+	bound   [3]temporal.NodeID
+	isSet   [3]bool
+	deadAt  temporal.Timestamp // t1 + δ
+	onMatch func(span temporal.Timestamp)
+	t1      temporal.Timestamp
+}
+
+// MatchFrom enumerates all matches whose first (chronologically earliest)
+// data edge is the edge with ID first, invoking fn with each match's time
+// span t3 − t1. Returns the number of matches.
+func MatchFrom(g *temporal.Graph, delta temporal.Timestamp, p Pattern,
+	first temporal.EdgeID, fn func(span temporal.Timestamp)) uint64 {
+	e := g.Edge(first)
+	m := &matcher{g: g, delta: delta, pattern: p, onMatch: fn, t1: e.Time, deadAt: e.Time + delta}
+	m.bound[p.Edges[0][0]] = e.From
+	m.bound[p.Edges[0][1]] = e.To
+	if e.From == e.To {
+		return 0
+	}
+	m.isSet[p.Edges[0][0]] = true
+	m.isSet[p.Edges[0][1]] = true
+	return m.extend(1, first)
+}
+
+func (m *matcher) extend(level int, lastID temporal.EdgeID) uint64 {
+	if level == 3 {
+		if m.onMatch != nil {
+			m.onMatch(m.g.Edge(lastID).Time - m.t1)
+		}
+		return 1
+	}
+	srcVar, dstVar := m.pattern.Edges[level][0], m.pattern.Edges[level][1]
+	srcSet, dstSet := m.isSet[srcVar], m.isSet[dstVar]
+	var n uint64
+	switch {
+	case srcSet && dstSet:
+		// Faithful to Mackey et al.: walk the bound source's time-sorted
+		// adjacency and filter on the target, rather than using this
+		// repository's per-pair index (an optimisation BT does not have —
+		// and a large part of why FAST-Pair wins in Table III).
+		a, b := m.bound[srcVar], m.bound[dstVar]
+		for _, h := range seqAfter(m.g.Seq(a), lastID) {
+			if h.Time > m.deadAt {
+				break
+			}
+			if h.Out && h.Other == b { // a -> b as required
+				n += m.extend(level+1, h.ID)
+			}
+		}
+	case srcSet:
+		a := m.bound[srcVar]
+		for _, h := range seqAfter(m.g.Seq(a), lastID) {
+			if h.Time > m.deadAt {
+				break
+			}
+			if !h.Out || m.conflicts(h.Other) {
+				continue
+			}
+			m.bound[dstVar], m.isSet[dstVar] = h.Other, true
+			n += m.extend(level+1, h.ID)
+			m.isSet[dstVar] = false
+		}
+	case dstSet:
+		b := m.bound[dstVar]
+		for _, h := range seqAfter(m.g.Seq(b), lastID) {
+			if h.Time > m.deadAt {
+				break
+			}
+			if h.Out || m.conflicts(h.Other) {
+				continue
+			}
+			m.bound[srcVar], m.isSet[srcVar] = h.Other, true
+			n += m.extend(level+1, h.ID)
+			m.isSet[srcVar] = false
+		}
+	default:
+		// Cannot happen for connected 3-edge patterns: every later edge
+		// shares at least one variable with an earlier one.
+		panic("bt: disconnected pattern prefix")
+	}
+	return n
+}
+
+// conflicts reports whether binding node v would violate injectivity.
+func (m *matcher) conflicts(v temporal.NodeID) bool {
+	for i := 0; i < m.pattern.NumVars; i++ {
+		if m.isSet[i] && m.bound[i] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// seqAfter returns the suffix of a (EdgeID-sorted) half-edge slice with IDs
+// strictly greater than lastID.
+func seqAfter(seq []temporal.HalfEdge, lastID temporal.EdgeID) []temporal.HalfEdge {
+	i := sort.Search(len(seq), func(k int) bool { return seq[k].ID > lastID })
+	return seq[i:]
+}
+
+// Count counts all instances of one pattern in the graph.
+func Count(g *temporal.Graph, delta temporal.Timestamp, p Pattern) uint64 {
+	var n uint64
+	for id := 0; id < g.NumEdges(); id++ {
+		n += MatchFrom(g, delta, p, temporal.EdgeID(id), nil)
+	}
+	return n
+}
+
+// CountLabels counts the given motif labels by backtracking, one pattern per
+// label ("BT" over that motif set).
+func CountLabels(g *temporal.Graph, delta temporal.Timestamp, labels []motif.Label) map[motif.Label]uint64 {
+	out := make(map[motif.Label]uint64, len(labels))
+	for _, l := range labels {
+		p, ok := PatternOf(l)
+		if !ok {
+			continue
+		}
+		out[l] = Count(g, delta, p)
+	}
+	return out
+}
+
+// CountPairs is the paper's "BT-Pair": exact backtracking count of the four
+// 2-node motifs.
+func CountPairs(g *temporal.Graph, delta temporal.Timestamp) map[motif.Label]uint64 {
+	return CountLabels(g, delta, motif.PairLabels())
+}
+
+// CountAll runs BT over the full 36-motif grid and returns the matrix
+// (a second independent exact algorithm, used for cross-validation).
+func CountAll(g *temporal.Graph, delta temporal.Timestamp) motif.Matrix {
+	return motif.FromLabelCounts(CountLabels(g, delta, motif.AllLabels()))
+}

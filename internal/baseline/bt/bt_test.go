@@ -1,0 +1,115 @@
+package bt
+
+import (
+	"math/rand"
+	"testing"
+
+	"hare/internal/brute"
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+func randomGraph(r *rand.Rand, nodes, edges int, span int64) *temporal.Graph {
+	b := temporal.NewBuilder(edges)
+	for i := 0; i < edges; i++ {
+		u := temporal.NodeID(r.Intn(nodes))
+		v := temporal.NodeID(r.Intn(nodes))
+		if u == v {
+			v = (v + 1) % temporal.NodeID(nodes)
+		}
+		_ = b.AddEdge(u, v, r.Int63n(span))
+	}
+	return b.Build()
+}
+
+func TestPatternsCoverAllLabels(t *testing.T) {
+	for _, l := range motif.AllLabels() {
+		p, ok := PatternOf(l)
+		if !ok {
+			t.Fatalf("no pattern for %v", l)
+		}
+		want := 3
+		if l.Category() == motif.CategoryPair {
+			want = 2
+		}
+		if p.NumVars != want {
+			t.Errorf("%v pattern has %d vars, want %d", l, p.NumVars, want)
+		}
+	}
+	if _, ok := PatternOf(motif.Label{Row: 9, Col: 9}); ok {
+		t.Fatal("invalid label should have no pattern")
+	}
+}
+
+func TestPatternSelfConsistency(t *testing.T) {
+	// Realising a label's pattern as concrete edges must classify back to
+	// the same label.
+	for _, l := range motif.AllLabels() {
+		p, _ := PatternOf(l)
+		var es [3]temporal.Edge
+		for k := 0; k < 3; k++ {
+			es[k] = temporal.Edge{
+				From: temporal.NodeID(p.Edges[k][0]),
+				To:   temporal.NodeID(p.Edges[k][1]),
+				Time: temporal.Timestamp(k),
+			}
+		}
+		got, ok := motif.Classify(es[0], es[1], es[2])
+		if !ok || got != l {
+			t.Errorf("pattern %v of %v classifies to %v (ok=%v)", p, l, got, ok)
+		}
+	}
+}
+
+func TestCountCycle(t *testing.T) {
+	g := temporal.FromEdges([]temporal.Edge{
+		{From: 0, To: 1, Time: 1}, {From: 1, To: 2, Time: 2}, {From: 2, To: 0, Time: 3},
+	})
+	p, _ := PatternOf(motif.Label{Row: 2, Col: 6})
+	if got := Count(g, 10, p); got != 1 {
+		t.Fatalf("M26 count = %d, want 1", got)
+	}
+	if got := Count(g, 1, p); got != 0 {
+		t.Fatalf("M26 count at δ=1 = %d, want 0", got)
+	}
+}
+
+func TestCountAllMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(r, 2+r.Intn(9), 1+r.Intn(100), 1+int64(r.Intn(30)))
+		delta := int64(r.Intn(20))
+		want := brute.Count(g, delta)
+		got := CountAll(g, delta)
+		if !got.Equal(&want) {
+			t.Fatalf("trial %d δ=%d: diff %v", trial, delta, got.Diff(&want))
+		}
+	}
+}
+
+func TestCountPairsMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 15; trial++ {
+		g := randomGraph(r, 2+r.Intn(5), 1+r.Intn(80), 20)
+		delta := int64(r.Intn(15))
+		want := brute.Count(g, delta)
+		got := CountPairs(g, delta)
+		for _, l := range motif.PairLabels() {
+			if got[l] != want.At(l) {
+				t.Fatalf("trial %d: %v = %d, want %d", trial, l, got[l], want.At(l))
+			}
+		}
+	}
+}
+
+func TestMatchFromSpans(t *testing.T) {
+	g := temporal.FromEdges([]temporal.Edge{
+		{From: 0, To: 1, Time: 1}, {From: 1, To: 2, Time: 4}, {From: 2, To: 0, Time: 9},
+	})
+	p, _ := PatternOf(motif.Label{Row: 2, Col: 6})
+	var spans []temporal.Timestamp
+	n := MatchFrom(g, 10, p, 0, func(span temporal.Timestamp) { spans = append(spans, span) })
+	if n != 1 || len(spans) != 1 || spans[0] != 8 {
+		t.Fatalf("n=%d spans=%v, want one span of 8", n, spans)
+	}
+}

@@ -1,0 +1,100 @@
+package bts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hare/internal/brute"
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+func randomGraph(r *rand.Rand, nodes, edges int, span int64) *temporal.Graph {
+	b := temporal.NewBuilder(edges)
+	for i := 0; i < edges; i++ {
+		u := temporal.NodeID(r.Intn(nodes))
+		v := temporal.NodeID(r.Intn(nodes))
+		if u == v {
+			v = (v + 1) % temporal.NodeID(nodes)
+		}
+		_ = b.AddEdge(u, v, r.Int63n(span))
+	}
+	return b.Build()
+}
+
+func TestDegenerateEmpty(t *testing.T) {
+	out := EstimatePairs(temporal.FromEdges(nil), 10, Options{})
+	for l, v := range out {
+		if v != 0 {
+			t.Fatalf("%v = %f on empty graph", l, v)
+		}
+	}
+	if out := EstimatePairs(randomGraph(rand.New(rand.NewSource(1)), 5, 30, 20), 0, Options{}); len(out) != 0 {
+		t.Fatal("δ=0 should return empty estimate")
+	}
+}
+
+// With q=1 every window is kept; the estimator still re-weights by the
+// window-inclusion probability, so it is unbiased but not exact per draw.
+// Averaging over offsets (seeds) must converge to the truth.
+func TestUnbiasedOverSeeds(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	g := randomGraph(r, 8, 250, 400)
+	delta := int64(20)
+	want := brute.Count(g, delta)
+	m55 := motif.Label{Row: 5, Col: 5}
+	truth := float64(want.CategoryTotal(motif.CategoryPair))
+	_ = m55
+
+	const seeds = 160
+	var sum float64
+	for s := int64(0); s < seeds; s++ {
+		est := EstimatePairs(g, delta, Options{Q: 1, WindowFactor: 8, Seed: s})
+		for _, v := range est {
+			sum += v
+		}
+	}
+	mean := sum / seeds
+	if truth == 0 {
+		t.Skip("degenerate instance-free draw")
+	}
+	if rel := math.Abs(mean-truth) / truth; rel > 0.15 {
+		t.Fatalf("mean estimate %.1f vs truth %.1f (rel err %.2f)", mean, truth, rel)
+	}
+}
+
+func TestSampledEstimateReasonable(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g := randomGraph(r, 10, 600, 800)
+	delta := int64(25)
+	want := brute.Count(g, delta)
+	truth := float64(want.CategoryTotal(motif.CategoryPair))
+	if truth == 0 {
+		t.Skip("no pair instances in draw")
+	}
+	const seeds = 120
+	var sum float64
+	for s := int64(0); s < seeds; s++ {
+		est := EstimatePairs(g, delta, Options{Q: 0.5, WindowFactor: 6, Seed: s, Workers: 4})
+		for _, v := range est {
+			sum += v
+		}
+	}
+	mean := sum / seeds
+	if rel := math.Abs(mean-truth) / truth; rel > 0.25 {
+		t.Fatalf("mean estimate %.1f vs truth %.1f (rel err %.2f)", mean, truth, rel)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	g := randomGraph(r, 8, 200, 300)
+	a := EstimatePairs(g, 15, Options{Seed: 7})
+	b := EstimatePairs(g, 15, Options{Seed: 7, Workers: 4})
+	for l, v := range a {
+		if b[l] != v {
+			t.Fatalf("%v: %f vs %f across runs with same seed", l, v, b[l])
+		}
+	}
+}

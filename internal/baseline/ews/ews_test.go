@@ -1,0 +1,108 @@
+package ews
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hare/internal/brute"
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+func randomGraph(r *rand.Rand, nodes, edges int, span int64) *temporal.Graph {
+	b := temporal.NewBuilder(edges)
+	for i := 0; i < edges; i++ {
+		u := temporal.NodeID(r.Intn(nodes))
+		v := temporal.NodeID(r.Intn(nodes))
+		if u == v {
+			v = (v + 1) % temporal.NodeID(nodes)
+		}
+		_ = b.AddEdge(u, v, r.Int63n(span))
+	}
+	return b.Build()
+}
+
+// p=1, q=1 degenerates to the exact count: every instance is found from its
+// unique first edge with weight 1.
+func TestDegenerateExact(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(r, 3+r.Intn(8), 1+r.Intn(120), 40)
+		delta := int64(r.Intn(25))
+		want := brute.Count(g, delta)
+		got := EstimateAll(g, delta, Options{P: 1, Q: 1})
+		for _, l := range motif.AllLabels() {
+			if math.Abs(got[l]-float64(want.At(l))) > 1e-9 {
+				t.Fatalf("trial %d: %v = %f, want %d", trial, l, got[l], want.At(l))
+			}
+		}
+	}
+}
+
+func TestUnbiasedOverSeeds(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	g := randomGraph(r, 10, 500, 300)
+	delta := int64(20)
+	want := brute.Count(g, delta)
+	truth := float64(want.Total())
+	if truth == 0 {
+		t.Skip("no instances in draw")
+	}
+	const seeds = 120
+	var sum float64
+	for s := int64(0); s < seeds; s++ {
+		est := EstimateAll(g, delta, Options{P: 0.3, Seed: s})
+		for _, v := range est {
+			sum += v
+		}
+	}
+	mean := sum / seeds
+	if rel := math.Abs(mean-truth) / truth; rel > 0.2 {
+		t.Fatalf("mean estimate %.1f vs truth %.1f (rel err %.2f)", mean, truth, rel)
+	}
+}
+
+func TestWedgeSamplingUnbiased(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g := randomGraph(r, 10, 400, 250)
+	delta := int64(18)
+	want := brute.Count(g, delta)
+	truth := float64(want.Total())
+	if truth == 0 {
+		t.Skip("no instances in draw")
+	}
+	const seeds = 150
+	var sum float64
+	for s := int64(0); s < seeds; s++ {
+		est := EstimateAll(g, delta, Options{P: 0.5, Q: 0.5, Seed: s})
+		for _, v := range est {
+			sum += v
+		}
+	}
+	mean := sum / seeds
+	if rel := math.Abs(mean-truth) / truth; rel > 0.25 {
+		t.Fatalf("mean estimate %.1f vs truth %.1f (rel err %.2f)", mean, truth, rel)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	g := randomGraph(r, 8, 200, 150)
+	a := EstimateAll(g, 15, Options{P: 0.4, Seed: 9})
+	b := EstimateAll(g, 15, Options{P: 0.4, Seed: 9})
+	for l, v := range a {
+		if b[l] != v {
+			t.Fatalf("%v differs across identical runs", l)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	out := EstimateAll(temporal.FromEdges(nil), 10, Options{})
+	for l, v := range out {
+		if v != 0 {
+			t.Fatalf("%v = %f on empty graph", l, v)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"hare/internal/brute"
+	"hare/internal/fast"
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+func randomGraph(r *rand.Rand, nodes, edges int, span int64) *temporal.Graph {
+	b := temporal.NewBuilder(edges)
+	for i := 0; i < edges; i++ {
+		u := temporal.NodeID(r.Intn(nodes))
+		v := temporal.NodeID(r.Intn(nodes))
+		if u == v {
+			v = (v + 1) % temporal.NodeID(nodes)
+		}
+		_ = b.AddEdge(u, v, r.Int63n(span))
+	}
+	return b.Build()
+}
+
+func TestTripleCounterSmall(t *testing.T) {
+	// Stream of classes 0,1,0 at times 0,1,2 with δ=10: one (0,1,0) triple.
+	tc := newTripleCounter(2)
+	tc.run([]temporal.Timestamp{0, 1, 2}, []uint8{0, 1, 0}, 10)
+	if got := tc.at(0, 1, 0); got != 1 {
+		t.Fatalf("count3[0][1][0] = %d, want 1", got)
+	}
+	var total uint64
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 2; y++ {
+			for z := 0; z < 2; z++ {
+				total += tc.at(x, y, z)
+			}
+		}
+	}
+	if total != 1 {
+		t.Fatalf("total triples = %d, want 1", total)
+	}
+}
+
+func TestTripleCounterWindowEviction(t *testing.T) {
+	// δ=5: (0@0, 0@10, 0@12) has no valid triple; (0@10,0@12,0@13) does.
+	tc := newTripleCounter(1)
+	tc.run([]temporal.Timestamp{0, 10, 12, 13}, []uint8{0, 0, 0, 0}, 5)
+	if got := tc.at(0, 0, 0); got != 1 {
+		t.Fatalf("triples = %d, want 1", got)
+	}
+}
+
+func TestTripleCounterAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(60)
+		nc := 1 + r.Intn(4)
+		delta := temporal.Timestamp(r.Intn(20))
+		times := make([]temporal.Timestamp, n)
+		classes := make([]uint8, n)
+		var cur temporal.Timestamp
+		for i := range times {
+			cur += temporal.Timestamp(r.Intn(4))
+			times[i] = cur
+			classes[i] = uint8(r.Intn(nc))
+		}
+		tc := newTripleCounter(nc)
+		tc.run(times, classes, delta)
+		want := make([]uint64, nc*nc*nc)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				for k := j + 1; k < n; k++ {
+					if times[k]-times[i] <= delta {
+						want[(int(classes[i])*nc+int(classes[j]))*nc+int(classes[k])]++
+					}
+				}
+			}
+		}
+		for x := 0; x < nc; x++ {
+			for y := 0; y < nc; y++ {
+				for z := 0; z < nc; z++ {
+					if tc.at(x, y, z) != want[(x*nc+y)*nc+z] {
+						t.Fatalf("trial %d: (%d,%d,%d) = %d, want %d",
+							trial, x, y, z, tc.at(x, y, z), want[(x*nc+y)*nc+z])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCountPairsMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(r, 2+r.Intn(8), 1+r.Intn(120), 1+int64(r.Intn(40)))
+		delta := int64(r.Intn(25))
+		want := brute.Count(g, delta)
+		got := CountPairs(g, delta)
+		for _, l := range motif.PairLabels() {
+			if got.At(l) != want.At(l) {
+				t.Fatalf("trial %d δ=%d: %v = %d, want %d", trial, delta, l, got.At(l), want.At(l))
+			}
+		}
+		if got.CategoryTotal(motif.CategoryStar) != 0 || got.CategoryTotal(motif.CategoryTri) != 0 {
+			t.Fatalf("trial %d: pair stage counted non-pair motifs", trial)
+		}
+	}
+}
+
+func TestCountStarsMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(r, 2+r.Intn(10), 1+r.Intn(120), 1+int64(r.Intn(40)))
+		delta := int64(r.Intn(25))
+		want := brute.Count(g, delta)
+		got := CountStars(g, delta)
+		for _, l := range motif.StarLabels() {
+			if got.At(l) != want.At(l) {
+				t.Fatalf("trial %d δ=%d: %v = %d, want %d", trial, delta, l, got.At(l), want.At(l))
+			}
+		}
+	}
+}
+
+func TestCountTrianglesMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(r, 3+r.Intn(10), 1+r.Intn(150), 1+int64(r.Intn(40)))
+		delta := int64(r.Intn(25))
+		want := brute.Count(g, delta)
+		got := CountTriangles(g, delta)
+		for _, l := range motif.TriLabels() {
+			if got.At(l) != want.At(l) {
+				t.Fatalf("trial %d δ=%d: %v = %d, want %d", trial, delta, l, got.At(l), want.At(l))
+			}
+		}
+	}
+}
+
+func TestCountMatchesFAST(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(r, 4+r.Intn(15), 50+r.Intn(250), 60)
+		delta := int64(1 + r.Intn(30))
+		want := fast.Count(g, delta).ToMatrix()
+		got := Count(g, delta)
+		if !got.Equal(&want) {
+			t.Fatalf("trial %d: EX and FAST disagree at %v", trial, got.Diff(&want))
+		}
+	}
+}
+
+func TestCountParallelExact(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(r, 5+r.Intn(12), 100+r.Intn(300), 500)
+		delta := int64(1 + r.Intn(20))
+		want := Count(g, delta)
+		for _, workers := range []int{1, 2, 3, 8} {
+			got := CountParallel(g, delta, workers)
+			if !got.Equal(&want) {
+				t.Fatalf("trial %d workers=%d: diff %v", trial, workers, got.Diff(&want))
+			}
+		}
+	}
+}
+
+func TestCountParallelTinySpan(t *testing.T) {
+	// Time span too small to slab: must fall back to sequential.
+	g := temporal.FromEdges([]temporal.Edge{
+		{From: 0, To: 1, Time: 1}, {From: 1, To: 2, Time: 2}, {From: 2, To: 0, Time: 3},
+	})
+	want := Count(g, 10)
+	got := CountParallel(g, 10, 16)
+	if !got.Equal(&want) {
+		t.Fatalf("diff %v", got.Diff(&want))
+	}
+}
+
+func TestCountEmpty(t *testing.T) {
+	g := temporal.FromEdges(nil)
+	m := Count(g, 10)
+	if m.Total() != 0 {
+		t.Fatalf("empty graph counted %d", m.Total())
+	}
+	mp := CountParallel(g, 10, 4)
+	if mp.Total() != 0 {
+		t.Fatalf("empty graph (parallel) counted %d", mp.Total())
+	}
+}

@@ -1,0 +1,164 @@
+package exact
+
+import (
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+// starSweeper counts all star motifs centered at one node with a single
+// chronological sweep over S_u, in the style of Paranjape et al.'s star
+// counter: a δ-window over the sequence plus a family of aggregate and
+// per-neighbor tuple counters ("more than ten triple and tuple counters", as
+// the HARE paper puts it).
+//
+// For the window ending at position j (the candidate last edge e3, neighbor
+// m, class z) the star triples are split by which positions share a neighbor:
+//
+//	Star-I   {2,3} -> m:  pairs with second edge to m minus pairs fully on m
+//	Star-II  {1,3} -> m:  pairs with first edge to m minus pairs fully on m
+//	Star-III {1,2} -> n≠m: pairs fully on some n, summed, minus those on m
+//
+// Pairs fully on m complete 2-node (pair) motifs and are intentionally not
+// counted here — EX counts them in the pair stage.
+//
+// Per-neighbor "pairs with first/second edge on m" are maintained in O(1)
+// per event via prefix-sum identities over the contiguous window:
+//
+//	secondTo_m[x][y] = sumPre_m[y][x]  − cnt1_m[y] · prefX[start]
+//	firstTo_m[x][y]  = cnt1_m[x] · prefY[j] − sumPost_m[x][y]
+//
+// where prefC[p] counts class-c edges among positions [0,p), sumPre
+// accumulates prefX at each window edge's position and sumPost accumulates
+// prefY just after it.
+type starSweeper struct {
+	pref  [2][]uint64 // prefix class counts, length len(seq)+1
+	cnt1  [2]uint64
+	bTot  [4]uint64 // pairs on the same neighbor, aggregated
+	nbr   map[temporal.NodeID]*nbrState
+	accum [24]uint64 // star counts indexed by motif.StarIndex
+}
+
+type nbrState struct {
+	cnt1    [2]uint64
+	b       [4]uint64 // pairs fully on this neighbor [x][y]
+	sumPre  [4]uint64 // [y][x]: Σ prefX[p] over window edges (class y) on this neighbor
+	sumPost [4]uint64 // [x][y]: Σ prefY[p+1] over window edges (class x) on this neighbor
+}
+
+func newStarSweeper() *starSweeper {
+	return &starSweeper{nbr: make(map[temporal.NodeID]*nbrState)}
+}
+
+func (s *starSweeper) reset(n int) {
+	for i := 0; i < 2; i++ {
+		if cap(s.pref[i]) < n+1 {
+			s.pref[i] = make([]uint64, n+1)
+		} else {
+			s.pref[i] = s.pref[i][:n+1]
+			clear(s.pref[i])
+		}
+	}
+	s.cnt1 = [2]uint64{}
+	s.bTot = [4]uint64{}
+	clear(s.nbr)
+	clear(s.accum[:])
+}
+
+func (s *starSweeper) state(m temporal.NodeID) *nbrState {
+	st := s.nbr[m]
+	if st == nil {
+		st = &nbrState{}
+		s.nbr[m] = st
+	}
+	return st
+}
+
+// sweep runs the sweep for one center's sequence and accumulates star counts.
+func (s *starSweeper) sweep(seq []temporal.HalfEdge, delta temporal.Timestamp) {
+	n := len(seq)
+	s.reset(n)
+	if n < 3 {
+		return
+	}
+	for p, h := range seq {
+		s.pref[0][p+1] = s.pref[0][p]
+		s.pref[1][p+1] = s.pref[1][p]
+		s.pref[h.Dir()][p+1]++
+	}
+	start := 0
+	for j, e3 := range seq {
+		for seq[start].Time < e3.Time-delta {
+			s.pop(seq[start], start)
+			start++
+		}
+		s.accumulate(e3, j, start)
+		s.push(e3, j)
+	}
+}
+
+// accumulate treats seq[j] as the last edge of star triples.
+func (s *starSweeper) accumulate(e3 temporal.HalfEdge, j, start int) {
+	m := e3.Other
+	z := motif.Dir(e3.Dir())
+	st := s.nbr[m]
+	var zero nbrState
+	if st == nil {
+		st = &zero
+	}
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 2; y++ {
+			xy := x<<1 | y
+			b := st.b[xy]
+			secondTo := st.sumPre[y<<1|x] - st.cnt1[y]*s.pref[x][start]
+			firstTo := st.cnt1[x]*s.pref[y][j] - st.sumPost[xy]
+			dx, dy := motif.Dir(x), motif.Dir(y)
+			s.accum[motif.StarIndex(motif.StarI, dx, dy, z)] += secondTo - b
+			s.accum[motif.StarIndex(motif.StarII, dx, dy, z)] += firstTo - b
+			s.accum[motif.StarIndex(motif.StarIII, dx, dy, z)] += s.bTot[xy] - b
+		}
+	}
+}
+
+// push admits seq[j] to the window.
+func (s *starSweeper) push(e temporal.HalfEdge, j int) {
+	c := e.Dir()
+	st := s.state(e.Other)
+	for x := 0; x < 2; x++ {
+		st.b[x<<1|c] += st.cnt1[x]
+		s.bTot[x<<1|c] += st.cnt1[x]
+		st.sumPre[c<<1|x] += s.pref[x][j]
+		st.sumPost[c<<1|x] += s.pref[x][j+1]
+	}
+	st.cnt1[c]++
+	s.cnt1[c]++
+}
+
+// pop retires the oldest window edge (at position p).
+func (s *starSweeper) pop(e temporal.HalfEdge, p int) {
+	c := e.Dir()
+	st := s.nbr[e.Other]
+	st.cnt1[c]--
+	s.cnt1[c]--
+	for y := 0; y < 2; y++ {
+		st.b[c<<1|y] -= st.cnt1[y]
+		s.bTot[c<<1|y] -= st.cnt1[y]
+		st.sumPre[c<<1|y] -= s.pref[y][p]
+		st.sumPost[c<<1|y] -= s.pref[y][p+1]
+	}
+}
+
+// countStars runs the star stage of EX over all centers, adding per-label
+// counts into m.
+func countStars(g *temporal.Graph, delta temporal.Timestamp, m *motif.Matrix) {
+	s := newStarSweeper()
+	for u := 0; u < g.NumNodes(); u++ {
+		s.sweep(g.Seq(temporal.NodeID(u)), delta)
+		for i, v := range s.accum {
+			if v == 0 {
+				continue
+			}
+			t, d1, d2, d3 := motif.StarCell(i)
+			m.AddAt(motif.StarLabel(t, d1, d2, d3), v)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package exact
+
+import (
+	"sort"
+
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+// Triangle stage of EX: enumerate the static triangles of the underlying
+// undirected graph, then run the 6-class sliding-window triple counter over
+// each triangle's merged temporal edge sequence. Class triples that use all
+// three node pairs are triangle motif instances; the remaining triples are
+// star/pair patterns inside the triangle and are counted by the other stages.
+//
+// This is the stage that dominates EX's cost on skewed graphs: a hub pair's
+// edge sequence is re-scanned once per static triangle it participates in,
+// which FAST-Tri avoids — the source of the paper's Table III gap.
+
+// Edge classes within a triangle (a,b,c), a<b<c by node ID.
+const (
+	clsAB = iota
+	clsBA
+	clsAC
+	clsCA
+	clsBC
+	clsCB
+	numTriClasses
+)
+
+// triClassLabel[(x*6+y)*6+z] is the motif label completed by class triple
+// (x,y,z), or an invalid label when the classes do not cover three node
+// pairs. Built once on first use via motif.Classify on representative edges.
+var triClassLabel [numTriClasses * numTriClasses * numTriClasses]motif.Label
+
+func init() {
+	// Representative nodes a=0, b=1, c=2.
+	rep := [numTriClasses]temporal.Edge{
+		clsAB: {From: 0, To: 1},
+		clsBA: {From: 1, To: 0},
+		clsAC: {From: 0, To: 2},
+		clsCA: {From: 2, To: 0},
+		clsBC: {From: 1, To: 2},
+		clsCB: {From: 2, To: 1},
+	}
+	pairOf := func(c int) int { return c / 2 } // 0:ab 1:ac 2:bc
+	for x := 0; x < numTriClasses; x++ {
+		for y := 0; y < numTriClasses; y++ {
+			for z := 0; z < numTriClasses; z++ {
+				idx := (x*numTriClasses+y)*numTriClasses + z
+				if pairOf(x) == pairOf(y) || pairOf(x) == pairOf(z) || pairOf(y) == pairOf(z) {
+					continue // not a triangle triple
+				}
+				e1, e2, e3 := rep[x], rep[y], rep[z]
+				e1.Time, e2.Time, e3.Time = 1, 2, 3
+				l, ok := motif.Classify(e1, e2, e3)
+				if !ok || l.Category() != motif.CategoryTri {
+					panic("exact: triangle class table inconsistent")
+				}
+				triClassLabel[idx] = l
+			}
+		}
+	}
+}
+
+// staticAdj returns, per node, the sorted distinct static neighbors.
+func staticAdj(g *temporal.Graph) [][]temporal.NodeID {
+	adj := make([][]temporal.NodeID, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		seen := make(map[temporal.NodeID]struct{})
+		for _, h := range g.Seq(temporal.NodeID(u)) {
+			seen[h.Other] = struct{}{}
+		}
+		ns := make([]temporal.NodeID, 0, len(seen))
+		for v := range seen {
+			ns = append(ns, v)
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		adj[u] = ns
+	}
+	return adj
+}
+
+// forEachTriangle invokes fn for every static triangle a<b<c.
+func forEachTriangle(adj [][]temporal.NodeID, fn func(a, b, c temporal.NodeID)) {
+	for a := range adj {
+		na := adj[a]
+		// neighbors of a greater than a
+		ia := sort.Search(len(na), func(i int) bool { return int(na[i]) > a })
+		higher := na[ia:]
+		for i, b := range higher {
+			nb := adj[b]
+			ib := sort.Search(len(nb), func(k int) bool { return nb[k] > b })
+			// intersect higher[i+1:] with nb[ib:]
+			p, q := i+1, ib
+			for p < len(higher) && q < len(nb) {
+				switch {
+				case higher[p] < nb[q]:
+					p++
+				case higher[p] > nb[q]:
+					q++
+				default:
+					fn(temporal.NodeID(a), b, higher[p])
+					p++
+					q++
+				}
+			}
+		}
+	}
+}
+
+// mergedSeq merges the three pair sequences of triangle (a,b,c) by EdgeID and
+// returns parallel (times, classes) slices. Buffers are reused via the
+// provided scratch.
+type triScratch struct {
+	times   []temporal.Timestamp
+	classes []uint8
+	tc      *tripleCounter
+}
+
+func newTriScratch() *triScratch {
+	return &triScratch{tc: newTripleCounter(numTriClasses)}
+}
+
+func (s *triScratch) merge(g *temporal.Graph, a, b, c temporal.NodeID) {
+	ab := g.Between(a, b) // dir relative to a
+	ac := g.Between(a, c)
+	bc := g.Between(b, c) // dir relative to b
+	s.times = s.times[:0]
+	s.classes = s.classes[:0]
+	i, j, k := 0, 0, 0
+	for i < len(ab) || j < len(ac) || k < len(bc) {
+		best := -1
+		var id temporal.EdgeID
+		if i < len(ab) {
+			best, id = 0, ab[i].ID
+		}
+		if j < len(ac) && (best == -1 || ac[j].ID < id) {
+			best, id = 1, ac[j].ID
+		}
+		if k < len(bc) && (best == -1 || bc[k].ID < id) {
+			best = 2
+		}
+		switch best {
+		case 0:
+			h := ab[i]
+			i++
+			s.times = append(s.times, h.Time)
+			if h.Out {
+				s.classes = append(s.classes, clsAB)
+			} else {
+				s.classes = append(s.classes, clsBA)
+			}
+		case 1:
+			h := ac[j]
+			j++
+			s.times = append(s.times, h.Time)
+			if h.Out {
+				s.classes = append(s.classes, clsAC)
+			} else {
+				s.classes = append(s.classes, clsCA)
+			}
+		default:
+			h := bc[k]
+			k++
+			s.times = append(s.times, h.Time)
+			if h.Out {
+				s.classes = append(s.classes, clsBC)
+			} else {
+				s.classes = append(s.classes, clsCB)
+			}
+		}
+	}
+}
+
+// countTriangles runs the triangle stage over the whole graph, adding
+// per-label counts into m.
+func countTriangles(g *temporal.Graph, delta temporal.Timestamp, m *motif.Matrix) {
+	adj := staticAdj(g)
+	s := newTriScratch()
+	forEachTriangle(adj, func(a, b, c temporal.NodeID) {
+		s.merge(g, a, b, c)
+		s.tc.reset()
+		s.tc.run(s.times, s.classes, delta)
+		for x := 0; x < numTriClasses; x++ {
+			for y := 0; y < numTriClasses; y++ {
+				for z := 0; z < numTriClasses; z++ {
+					n := s.tc.at(x, y, z)
+					if n == 0 {
+						continue
+					}
+					if l := triClassLabel[(x*numTriClasses+y)*numTriClasses+z]; l.Valid() {
+						m.AddAt(l, n)
+					}
+				}
+			}
+		}
+	})
+}

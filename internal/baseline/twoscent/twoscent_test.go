@@ -1,0 +1,62 @@
+package twoscent
+
+import (
+	"math/rand"
+	"testing"
+
+	"hare/internal/brute"
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+func TestCountCyclesSimple(t *testing.T) {
+	g := temporal.FromEdges([]temporal.Edge{
+		{From: 0, To: 1, Time: 1}, {From: 1, To: 2, Time: 2}, {From: 2, To: 0, Time: 3},
+	})
+	if got := CountCycles(g, 10); got != 1 {
+		t.Fatalf("cycles = %d, want 1", got)
+	}
+	if got := CountCycles(g, 1); got != 0 {
+		t.Fatalf("cycles at δ=1 = %d, want 0", got)
+	}
+}
+
+func TestCountCyclesWrongOrder(t *testing.T) {
+	// Structurally a cycle, but no rotation of the edges is chronological.
+	g := temporal.FromEdges([]temporal.Edge{
+		{From: 0, To: 1, Time: 1}, {From: 2, To: 0, Time: 2}, {From: 1, To: 2, Time: 3},
+	})
+	if got := CountCycles(g, 10); got != 0 {
+		t.Fatalf("cycles = %d, want 0", got)
+	}
+}
+
+func TestCountCyclesMatchesBruteM26(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	m26 := motif.Label{Row: 2, Col: 6}
+	for trial := 0; trial < 40; trial++ {
+		nodes := 3 + r.Intn(10)
+		edges := 1 + r.Intn(150)
+		b := temporal.NewBuilder(edges)
+		for i := 0; i < edges; i++ {
+			u := temporal.NodeID(r.Intn(nodes))
+			v := temporal.NodeID(r.Intn(nodes))
+			if u == v {
+				v = (v + 1) % temporal.NodeID(nodes)
+			}
+			_ = b.AddEdge(u, v, r.Int63n(40))
+		}
+		g := b.Build()
+		delta := int64(r.Intn(25))
+		want := brute.CountLabel(g, delta, m26)
+		if got := CountCycles(g, delta); got != want {
+			t.Fatalf("trial %d δ=%d: cycles = %d, want %d", trial, delta, got, want)
+		}
+	}
+}
+
+func TestCountCyclesEmpty(t *testing.T) {
+	if got := CountCycles(temporal.FromEdges(nil), 10); got != 0 {
+		t.Fatalf("cycles = %d, want 0", got)
+	}
+}

@@ -1,0 +1,78 @@
+// Package brute enumerates δ-temporal motif instances by exhaustive window
+// scanning. It is the ground-truth oracle used to validate every counting
+// algorithm in this repository; it shares no code with the algorithms under
+// test (classification goes through motif.Classify, which derives labels from
+// first principles).
+//
+// Complexity is O(|E| · w²) for window size w — use only on test-sized
+// graphs.
+package brute
+
+import (
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+// Count enumerates every chronologically ordered edge triple (i < j < k by
+// EdgeID) with t_k − t_i ≤ δ whose induced graph is a connected 2- or 3-node
+// pattern, and tallies the triples per motif label.
+func Count(g *temporal.Graph, delta temporal.Timestamp) motif.Matrix {
+	var m motif.Matrix
+	edges := g.Edges()
+	for i := 0; i < len(edges); i++ {
+		for j := i + 1; j < len(edges); j++ {
+			if edges[j].Time-edges[i].Time > delta {
+				break
+			}
+			for k := j + 1; k < len(edges); k++ {
+				if edges[k].Time-edges[i].Time > delta {
+					break
+				}
+				if l, ok := motif.Classify(edges[i], edges[j], edges[k]); ok {
+					m.AddAt(l, 1)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// CountLabel counts instances of a single motif label (convenience for
+// baseline tests).
+func CountLabel(g *temporal.Graph, delta temporal.Timestamp, label motif.Label) uint64 {
+	m := Count(g, delta)
+	return m.At(label)
+}
+
+// Instance is one enumerated motif occurrence (EdgeIDs in chronological
+// order).
+type Instance struct {
+	Label motif.Label
+	Edges [3]temporal.EdgeID
+}
+
+// Enumerate returns every motif instance explicitly. Intended for tests and
+// examples that need to inspect occurrences, not just counts.
+func Enumerate(g *temporal.Graph, delta temporal.Timestamp) []Instance {
+	var out []Instance
+	edges := g.Edges()
+	for i := 0; i < len(edges); i++ {
+		for j := i + 1; j < len(edges); j++ {
+			if edges[j].Time-edges[i].Time > delta {
+				break
+			}
+			for k := j + 1; k < len(edges); k++ {
+				if edges[k].Time-edges[i].Time > delta {
+					break
+				}
+				if l, ok := motif.Classify(edges[i], edges[j], edges[k]); ok {
+					out = append(out, Instance{
+						Label: l,
+						Edges: [3]temporal.EdgeID{temporal.EdgeID(i), temporal.EdgeID(j), temporal.EdgeID(k)},
+					})
+				}
+			}
+		}
+	}
+	return out
+}

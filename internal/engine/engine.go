@@ -1,0 +1,225 @@
+// Package engine implements HARE, the paper's hierarchical parallel framework
+// for the FAST counting algorithms.
+//
+// Two cooperating strategies (paper §IV-C):
+//
+//   - inter-node parallelism: workers dynamically pull chunks of center nodes
+//     from a shared atomic cursor (the analogue of OpenMP dynamic
+//     scheduling);
+//   - intra-node parallelism: nodes whose temporal degree exceeds a threshold
+//     thrd are processed one at a time, with the first-edge loop of
+//     Algorithms 1/2 split across workers.
+//
+// Every worker accumulates into private counters that are merged at the end
+// (the analogue of OpenMP reduction), so the hot path has no shared mutable
+// state. Triangles are counted in recount mode (once per vertex) to stay
+// dependency free; the merge divides by three.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hare/internal/fast"
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+// Schedule selects how center nodes are assigned to workers in the
+// inter-node stage.
+type Schedule int
+
+const (
+	// ScheduleDynamic is the default: workers pull fixed-size chunks from an
+	// atomic cursor as they become free.
+	ScheduleDynamic Schedule = iota
+	// ScheduleStatic pre-splits the node range into one contiguous block per
+	// worker. It exists to reproduce the paper's Fig. 12(b) ablation
+	// ("without thrd" / static OpenMP mode): long-tailed degree
+	// distributions make it badly load imbalanced.
+	ScheduleStatic
+)
+
+// Options configures a HARE run. The zero value means: one worker per CPU,
+// automatic degree threshold (minimum degree of the top-20 nodes, the
+// paper's default), dynamic scheduling, hierarchical mode on.
+type Options struct {
+	// Workers is the number of goroutines (#threads in the paper). <= 0
+	// selects runtime.GOMAXPROCS(0).
+	Workers int
+	// DegreeThreshold is thrd: nodes with temporal degree strictly greater
+	// are processed with intra-node parallelism. 0 selects the automatic
+	// top-20 heuristic; negative disables the intra-node stage entirely
+	// (flat inter-node parallelism, the "without thrd" ablation).
+	DegreeThreshold int
+	// Schedule selects dynamic (default) or static node assignment.
+	Schedule Schedule
+	// ChunkSize is the number of center nodes per dynamic work unit
+	// (default 64).
+	ChunkSize int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) chunk() int {
+	if o.ChunkSize > 0 {
+		return o.ChunkSize
+	}
+	return 64
+}
+
+// Count runs HARE over all 36 motifs and returns the merged counters
+// (TriMultiplicity == 3).
+func Count(g *temporal.Graph, delta temporal.Timestamp, opts Options) *motif.Counts {
+	return run(g, delta, opts, true, true)
+}
+
+// CountStarPair runs HARE for star and pair motifs only ("HARE-Pair" reports
+// the pair subset of this run).
+func CountStarPair(g *temporal.Graph, delta temporal.Timestamp, opts Options) *motif.Counts {
+	return run(g, delta, opts, true, false)
+}
+
+// CountTri runs HARE for triangle motifs only ("HARE-Tri").
+func CountTri(g *temporal.Graph, delta temporal.Timestamp, opts Options) *motif.Counts {
+	return run(g, delta, opts, false, true)
+}
+
+func run(g *temporal.Graph, delta temporal.Timestamp, opts Options, doStar, doTri bool) *motif.Counts {
+	workers := opts.workers()
+	thrd := opts.DegreeThreshold
+	if thrd == 0 {
+		thrd = temporal.TopKDegreeThreshold(g, 20)
+		if thrd == 0 {
+			thrd = int(^uint(0) >> 1) // tiny graph: no intra-node stage
+		}
+	}
+
+	var light, heavy []temporal.NodeID
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.Degree(temporal.NodeID(u))
+		if d < 3 && (!doTri || d < 2) {
+			continue // cannot host any motif as center
+		}
+		if thrd > 0 && d > thrd {
+			heavy = append(heavy, temporal.NodeID(u))
+		} else {
+			light = append(light, temporal.NodeID(u))
+		}
+	}
+
+	perWorker := make([]*motif.Counts, workers)
+	scratch := make([]*fast.Scratch, workers)
+	for w := range perWorker {
+		perWorker[w] = &motif.Counts{TriMultiplicity: 3}
+		scratch[w] = fast.NewScratch()
+	}
+
+	// Stage 1: inter-node parallelism over light centers.
+	interNode(g, delta, opts, light, perWorker, scratch, doStar, doTri)
+
+	// Stage 2: intra-node parallelism, one heavy center at a time.
+	for _, u := range heavy {
+		intraNode(g, u, delta, workers, perWorker, scratch, doStar, doTri)
+	}
+
+	total := &motif.Counts{TriMultiplicity: 3}
+	for _, c := range perWorker {
+		total.Add(c)
+	}
+	return total
+}
+
+func interNode(g *temporal.Graph, delta temporal.Timestamp, opts Options,
+	nodes []temporal.NodeID, perWorker []*motif.Counts, scratch []*fast.Scratch,
+	doStar, doTri bool) {
+	workers := len(perWorker)
+	var wg sync.WaitGroup
+	countNodes := func(w int, batch []temporal.NodeID) {
+		for _, u := range batch {
+			if doStar {
+				fast.CountStarPairNode(g, u, delta, perWorker[w], scratch[w])
+			}
+			if doTri {
+				fast.CountTriNode(g, u, delta, &perWorker[w].Tri, false)
+			}
+		}
+	}
+	switch opts.Schedule {
+	case ScheduleStatic:
+		per := (len(nodes) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * per
+			if lo >= len(nodes) {
+				break
+			}
+			hi := min(lo+per, len(nodes))
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				countNodes(w, nodes[lo:hi])
+			}(w, lo, hi)
+		}
+	default:
+		chunk := int64(opts.chunk())
+		var cursor atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					end := cursor.Add(chunk)
+					start := end - chunk
+					if start >= int64(len(nodes)) {
+						return
+					}
+					if end > int64(len(nodes)) {
+						end = int64(len(nodes))
+					}
+					countNodes(w, nodes[start:end])
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+}
+
+func intraNode(g *temporal.Graph, u temporal.NodeID, delta temporal.Timestamp,
+	workers int, perWorker []*motif.Counts, scratch []*fast.Scratch,
+	doStar, doTri bool) {
+	su := g.Seq(u)
+	// First-edge iterations near the start of S_u dominate (longer suffix to
+	// scan), so use small dynamic chunks rather than a static split.
+	chunk := int64(len(su)/(workers*8) + 1)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				end := cursor.Add(chunk)
+				start := end - chunk
+				if start >= int64(len(su)) {
+					return
+				}
+				if end > int64(len(su)) {
+					end = int64(len(su))
+				}
+				if doStar {
+					fast.CountStarPairRange(su, delta, perWorker[w], scratch[w], int(start), int(end))
+				}
+				if doTri {
+					fast.CountTriRange(g, u, delta, &perWorker[w].Tri, false, int(start), int(end))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

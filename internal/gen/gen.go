@@ -1,0 +1,182 @@
+// Package gen produces seeded synthetic temporal graphs that stand in for
+// the paper's sixteen real-world datasets (Table II), which are not
+// available offline. The generator reproduces the structural properties the
+// counting algorithms are sensitive to:
+//
+//   - heavy-tailed node popularity (Zipf) — drives the load imbalance that
+//     motivates HARE's hierarchical parallelism (paper Fig. 9);
+//   - reply and repeat processes — multi-edges between the same pair, the
+//     source of pair motifs;
+//   - triadic closure over recent edges — temporal triangles;
+//   - bursty timestamps — realistic in-window degrees d^δ, which set FAST's
+//     effective workload.
+//
+// Everything is deterministic for a given Config (including its Seed).
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hare/internal/temporal"
+)
+
+// Config parameterises one synthetic dataset.
+type Config struct {
+	Name string
+	// Nodes and Edges size the graph.
+	Nodes int
+	Edges int
+	// TimeSpan is the total simulated duration in seconds.
+	TimeSpan temporal.Timestamp
+	// ZipfS is the Zipf exponent (> 1) of the node-popularity distribution;
+	// larger means more skew.
+	ZipfS float64
+	// ReplyProb is the probability that an event is a reply: the reverse of
+	// a recently generated edge.
+	ReplyProb float64
+	// RepeatProb is the probability that an event repeats a recent edge in
+	// the same direction.
+	RepeatProb float64
+	// TriadProb is the probability that an event closes a two-hop path over
+	// recent edges into a triangle.
+	TriadProb float64
+	// BurstLen > 1 emits timestamps in bursts of roughly this many events
+	// (bursts share a short time neighbourhood), mimicking conversational
+	// data.
+	BurstLen int
+	// Seed feeds the deterministic RNG.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 2:
+		return fmt.Errorf("gen: %q: need at least 2 nodes", c.Name)
+	case c.Edges < 0:
+		return fmt.Errorf("gen: %q: negative edge count", c.Name)
+	case c.TimeSpan < 1:
+		return fmt.Errorf("gen: %q: need a positive time span", c.Name)
+	case c.ZipfS <= 1:
+		return fmt.Errorf("gen: %q: ZipfS must be > 1", c.Name)
+	case c.ReplyProb+c.RepeatProb+c.TriadProb > 1:
+		return fmt.Errorf("gen: %q: event probabilities exceed 1", c.Name)
+	default:
+		return nil
+	}
+}
+
+// Generate builds the synthetic temporal graph described by cfg.
+func Generate(cfg Config) (*temporal.Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(r, cfg.ZipfS, 1, uint64(cfg.Nodes-1))
+
+	b := temporal.NewBuilder(cfg.Edges)
+	// Ring buffer of recent edges feeding the reply/repeat/triad processes.
+	const recentCap = 256
+	recent := make([]temporal.Edge, 0, recentCap)
+	push := func(e temporal.Edge) {
+		if len(recent) < recentCap {
+			recent = append(recent, e)
+			return
+		}
+		recent[r.Intn(recentCap)] = e
+	}
+	pick := func() temporal.Edge { return recent[r.Intn(len(recent))] }
+
+	// Timestamp process: advance by exponential gaps scaled so the expected
+	// total duration is TimeSpan; bursts reuse a small neighbourhood.
+	meanGap := float64(cfg.TimeSpan) / float64(cfg.Edges+1)
+	burst := cfg.BurstLen
+	if burst < 1 {
+		burst = 1
+	}
+	var t temporal.Timestamp
+	burstLeft := 0
+	nextTime := func() temporal.Timestamp {
+		if burstLeft > 0 {
+			burstLeft--
+			t += temporal.Timestamp(r.Intn(3)) // nearly simultaneous events
+			return t
+		}
+		burstLeft = r.Intn(2 * burst) // on average, bursts of ~BurstLen
+		gap := r.ExpFloat64() * meanGap * float64(burst)
+		t += temporal.Timestamp(math.Ceil(gap))
+		return t
+	}
+
+	fresh := func() (temporal.NodeID, temporal.NodeID) {
+		u := temporal.NodeID(zipf.Uint64())
+		v := temporal.NodeID(zipf.Uint64())
+		for v == u {
+			v = temporal.NodeID(r.Intn(cfg.Nodes))
+		}
+		// Randomise orientation: Zipf draws concentrate low IDs; hubs
+		// should both send and receive.
+		if r.Intn(2) == 0 {
+			u, v = v, u
+		}
+		return u, v
+	}
+
+	for i := 0; i < cfg.Edges; i++ {
+		ts := nextTime()
+		var u, v temporal.NodeID
+		p := r.Float64()
+		switch {
+		case len(recent) > 0 && p < cfg.ReplyProb:
+			e := pick()
+			u, v = e.To, e.From
+		case len(recent) > 0 && p < cfg.ReplyProb+cfg.RepeatProb:
+			e := pick()
+			u, v = e.From, e.To
+		case len(recent) > 1 && p < cfg.ReplyProb+cfg.RepeatProb+cfg.TriadProb:
+			// Close a wedge: find recent edges (a,b), (b,c) and emit (a,c)
+			// or (c,a). A few attempts; fall back to a fresh edge.
+			u, v = 0, 0
+			for try := 0; try < 4; try++ {
+				e1, e2 := pick(), pick()
+				var a, c temporal.NodeID
+				switch {
+				case e1.To == e2.From && e1.From != e2.To:
+					a, c = e1.From, e2.To
+				case e2.To == e1.From && e2.From != e1.To:
+					a, c = e2.From, e1.To
+				default:
+					continue
+				}
+				if r.Intn(2) == 0 {
+					a, c = c, a
+				}
+				u, v = a, c
+				break
+			}
+			if u == v {
+				u, v = fresh()
+			}
+		default:
+			u, v = fresh()
+		}
+		e := temporal.Edge{From: u, To: v, Time: ts}
+		if err := b.AddEdge(u, v, ts); err != nil {
+			return nil, err
+		}
+		push(e)
+	}
+	return b.Build(), nil
+}
+
+// MustGenerate is Generate for static configs known to be valid (panics on
+// error). Used by the benchmark harness.
+func MustGenerate(cfg Config) *temporal.Graph {
+	g, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,177 @@
+package motif
+
+import (
+	"testing"
+
+	"hare/internal/temporal"
+)
+
+func TestClassifyPair(t *testing.T) {
+	// Paper Fig. 1: <(d,e,14s),(e,d,18s),(d,e,21s)> is M65.
+	l, ok := Classify(
+		temporal.Edge{From: 3, To: 4, Time: 14},
+		temporal.Edge{From: 4, To: 3, Time: 18},
+		temporal.Edge{From: 3, To: 4, Time: 21},
+	)
+	if !ok || l != (Label{6, 5}) {
+		t.Fatalf("got %v ok=%v, want M65", l, ok)
+	}
+}
+
+func TestClassifyStar(t *testing.T) {
+	// Paper Fig. 1: <(a,c,4s),(a,c,8s),(d,a,9s)> is M63.
+	l, ok := Classify(
+		temporal.Edge{From: 0, To: 2, Time: 4},
+		temporal.Edge{From: 0, To: 2, Time: 8},
+		temporal.Edge{From: 3, To: 0, Time: 9},
+	)
+	if !ok || l != (Label{6, 3}) {
+		t.Fatalf("got %v ok=%v, want M63", l, ok)
+	}
+	// Star-I: first edge isolated: u->x then two edges u<->y.
+	l, ok = Classify(
+		temporal.Edge{From: 0, To: 1, Time: 1},
+		temporal.Edge{From: 0, To: 2, Time: 2},
+		temporal.Edge{From: 2, To: 0, Time: 3},
+	)
+	if !ok || l.Category() != CategoryStar || l.Row > 2 {
+		t.Fatalf("Star-I instance classified as %v", l)
+	}
+	// Star-II: middle edge isolated.
+	l, ok = Classify(
+		temporal.Edge{From: 0, To: 1, Time: 1},
+		temporal.Edge{From: 0, To: 2, Time: 2},
+		temporal.Edge{From: 1, To: 0, Time: 3},
+	)
+	if !ok || l.Row < 3 || l.Row > 4 {
+		t.Fatalf("Star-II instance classified as %v", l)
+	}
+}
+
+func TestClassifyTriangle(t *testing.T) {
+	// Paper: <(e,c,6s),(d,c,10s),(d,e,14s)> is M46.
+	l, ok := Classify(
+		temporal.Edge{From: 4, To: 2, Time: 6},
+		temporal.Edge{From: 3, To: 2, Time: 10},
+		temporal.Edge{From: 3, To: 4, Time: 14},
+	)
+	if !ok || l != (Label{4, 6}) {
+		t.Fatalf("got %v ok=%v, want M46", l, ok)
+	}
+	// Paper: <(a,c,8s),(d,a,9s),(c,d,17s)> is M25.
+	l, ok = Classify(
+		temporal.Edge{From: 0, To: 2, Time: 8},
+		temporal.Edge{From: 3, To: 0, Time: 9},
+		temporal.Edge{From: 2, To: 3, Time: 17},
+	)
+	if !ok || l != (Label{2, 5}) {
+		t.Fatalf("got %v ok=%v, want M25", l, ok)
+	}
+	// Cyclic triangle a->b, b->c, c->a is M26.
+	l, ok = Classify(
+		temporal.Edge{From: 0, To: 1, Time: 1},
+		temporal.Edge{From: 1, To: 2, Time: 2},
+		temporal.Edge{From: 2, To: 0, Time: 3},
+	)
+	if !ok || l != (Label{2, 6}) {
+		t.Fatalf("cycle got %v ok=%v, want M26", l, ok)
+	}
+}
+
+func TestClassifyRejects(t *testing.T) {
+	// Four distinct nodes: not a motif.
+	if _, ok := Classify(
+		temporal.Edge{From: 0, To: 1, Time: 1},
+		temporal.Edge{From: 2, To: 3, Time: 2},
+		temporal.Edge{From: 0, To: 1, Time: 3},
+	); ok {
+		t.Fatal("4-node pattern accepted")
+	}
+	// Self-loop edges are rejected.
+	if _, ok := Classify(
+		temporal.Edge{From: 0, To: 0, Time: 1},
+		temporal.Edge{From: 0, To: 1, Time: 2},
+		temporal.Edge{From: 1, To: 0, Time: 3},
+	); ok {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+// Every triangle label must be reachable by Classify, and the choice of
+// which vertex Classify uses internally must not matter: rotating node IDs
+// leaves the label unchanged.
+func TestClassifyTriangleRelabelInvariance(t *testing.T) {
+	base := [3]temporal.Edge{
+		{From: 0, To: 1, Time: 1},
+		{From: 2, To: 1, Time: 2},
+		{From: 0, To: 2, Time: 3},
+	}
+	want, ok := Classify(base[0], base[1], base[2])
+	if !ok {
+		t.Fatal("base triangle not classified")
+	}
+	perms := [][3]temporal.NodeID{{1, 2, 0}, {2, 0, 1}, {0, 2, 1}, {1, 0, 2}, {2, 1, 0}}
+	for _, p := range perms {
+		var es [3]temporal.Edge
+		for i, e := range base {
+			es[i] = temporal.Edge{From: p[e.From], To: p[e.To], Time: e.Time}
+		}
+		got, ok := Classify(es[0], es[1], es[2])
+		if !ok || got != want {
+			t.Fatalf("perm %v: got %v ok=%v, want %v", p, got, ok, want)
+		}
+	}
+}
+
+// Exhaustively generate all direction patterns for each topology and check
+// the full 36-label space is reachable.
+func TestClassifyCoversAllLabels(t *testing.T) {
+	seen := map[Label]bool{}
+	dirs := []bool{false, true} // false = forward, true = reversed
+	// Pairs: edges between nodes 0 and 1.
+	mk := func(rev bool, a, b temporal.NodeID, tm temporal.Timestamp) temporal.Edge {
+		if rev {
+			return temporal.Edge{From: b, To: a, Time: tm}
+		}
+		return temporal.Edge{From: a, To: b, Time: tm}
+	}
+	for _, r1 := range dirs {
+		for _, r2 := range dirs {
+			for _, r3 := range dirs {
+				// pair
+				if l, ok := Classify(mk(r1, 0, 1, 1), mk(r2, 0, 1, 2), mk(r3, 0, 1, 3)); ok {
+					seen[l] = true
+				}
+				// stars: isolated edge in each temporal position
+				if l, ok := Classify(mk(r1, 0, 1, 1), mk(r2, 0, 2, 2), mk(r3, 0, 2, 3)); ok {
+					seen[l] = true
+				}
+				if l, ok := Classify(mk(r1, 0, 2, 1), mk(r2, 0, 1, 2), mk(r3, 0, 2, 3)); ok {
+					seen[l] = true
+				}
+				if l, ok := Classify(mk(r1, 0, 2, 1), mk(r2, 0, 2, 2), mk(r3, 0, 1, 3)); ok {
+					seen[l] = true
+				}
+				// triangles: three temporal orders of the pair coverage
+				if l, ok := Classify(mk(r1, 0, 1, 1), mk(r2, 0, 2, 2), mk(r3, 1, 2, 3)); ok {
+					seen[l] = true
+				}
+				if l, ok := Classify(mk(r1, 0, 1, 1), mk(r2, 1, 2, 2), mk(r3, 0, 2, 3)); ok {
+					seen[l] = true
+				}
+				if l, ok := Classify(mk(r1, 1, 2, 1), mk(r2, 0, 1, 2), mk(r3, 0, 2, 3)); ok {
+					seen[l] = true
+				}
+			}
+		}
+	}
+	if len(seen) != 36 {
+		missing := []Label{}
+		for _, l := range AllLabels() {
+			if !seen[l] {
+				missing = append(missing, l)
+			}
+		}
+		t.Fatalf("reached %d labels, want 36; missing %v", len(seen), missing)
+	}
+}

@@ -1,0 +1,140 @@
+package motif
+
+import "fmt"
+
+// PairCounter is the paper's triple counter Pair[dir1, dir2, dir3] for pair
+// temporal motifs: 8 cells indexed by the directions of the three edges
+// relative to the counting center. Each of the 4 non-isomorphic pair motifs
+// occupies two complementary cells (the same instance seen from either
+// endpoint), and each single cell equals the exact instance count.
+type PairCounter [8]uint64
+
+// PairIndex flattens (d1,d2,d3) into a PairCounter index.
+func PairIndex(d1, d2, d3 Dir) int { return int(d1)<<2 | int(d2)<<1 | int(d3) }
+
+// PairDirs inverts PairIndex.
+func PairDirs(i int) (d1, d2, d3 Dir) {
+	return Dir(i >> 2 & 1), Dir(i >> 1 & 1), Dir(i & 1)
+}
+
+// At returns the cell for the given direction pattern.
+func (c *PairCounter) At(d1, d2, d3 Dir) uint64 { return c[PairIndex(d1, d2, d3)] }
+
+// Add accumulates another counter into c.
+func (c *PairCounter) Add(o *PairCounter) {
+	for i := range c {
+		c[i] += o[i]
+	}
+}
+
+// Total returns the sum over all cells (twice the number of pair instances,
+// since each instance is recorded from both endpoints).
+func (c *PairCounter) Total() uint64 {
+	var s uint64
+	for _, v := range c {
+		s += v
+	}
+	return s
+}
+
+// StarCounter is the paper's quadruple counter Star[Type, dir1, dir2, dir3]:
+// 24 cells in bijection with the 24 non-isomorphic star temporal motifs.
+type StarCounter [24]uint64
+
+// StarIndex flattens (type,d1,d2,d3) into a StarCounter index.
+func StarIndex(t StarType, d1, d2, d3 Dir) int {
+	return int(t)<<3 | int(d1)<<2 | int(d2)<<1 | int(d3)
+}
+
+// StarCell inverts StarIndex.
+func StarCell(i int) (t StarType, d1, d2, d3 Dir) {
+	return StarType(i >> 3), Dir(i >> 2 & 1), Dir(i >> 1 & 1), Dir(i & 1)
+}
+
+// At returns the cell for the given type and direction pattern.
+func (c *StarCounter) At(t StarType, d1, d2, d3 Dir) uint64 {
+	return c[StarIndex(t, d1, d2, d3)]
+}
+
+// Add accumulates another counter into c.
+func (c *StarCounter) Add(o *StarCounter) {
+	for i := range c {
+		c[i] += o[i]
+	}
+}
+
+// Total returns the sum over all cells (= total star instances).
+func (c *StarCounter) Total() uint64 {
+	var s uint64
+	for _, v := range c {
+		s += v
+	}
+	return s
+}
+
+// TriCounter is the paper's quadruple counter Tri[Type, dir_i, dir_j, dir_k]:
+// 24 cells covering the 8 non-isomorphic triangle motifs three times each
+// (one cell per choice of center vertex, paper Fig. 8).
+type TriCounter [24]uint64
+
+// TriIndex flattens (type, di, dj, dk) into a TriCounter index.
+func TriIndex(t TriType, di, dj, dk Dir) int {
+	return int(t)<<3 | int(di)<<2 | int(dj)<<1 | int(dk)
+}
+
+// TriCell inverts TriIndex.
+func TriCell(i int) (t TriType, di, dj, dk Dir) {
+	return TriType(i >> 3), Dir(i >> 2 & 1), Dir(i >> 1 & 1), Dir(i & 1)
+}
+
+// At returns the cell for the given type and direction pattern.
+func (c *TriCounter) At(t TriType, di, dj, dk Dir) uint64 {
+	return c[TriIndex(t, di, dj, dk)]
+}
+
+// Add accumulates another counter into c.
+func (c *TriCounter) Add(o *TriCounter) {
+	for i := range c {
+		c[i] += o[i]
+	}
+}
+
+// Total returns the sum over all cells.
+func (c *TriCounter) Total() uint64 {
+	var s uint64
+	for _, v := range c {
+		s += v
+	}
+	return s
+}
+
+// Counts aggregates the three counters produced by one counting run.
+//
+// TriMultiplicity records how many times each triangle instance was counted:
+// 3 for the parallel-friendly recounting mode (every vertex acts as center),
+// 1 for the sequential dedup mode (paper Algorithm 2 line 26). Matrix()
+// normalises by it. Zero is treated as 1 so the zero value is usable.
+type Counts struct {
+	Pair            PairCounter
+	Star            StarCounter
+	Tri             TriCounter
+	TriMultiplicity int
+}
+
+// Add accumulates another Counts with the same TriMultiplicity. Mixing
+// multiplicities is a programming error and panics.
+func (c *Counts) Add(o *Counts) {
+	if c.triMult() != o.triMult() {
+		panic(fmt.Sprintf("motif: mixing TriMultiplicity %d and %d", c.triMult(), o.triMult()))
+	}
+	c.Pair.Add(&o.Pair)
+	c.Star.Add(&o.Star)
+	c.Tri.Add(&o.Tri)
+}
+
+func (c *Counts) triMult() int {
+	if c.TriMultiplicity == 0 {
+		return 1
+	}
+	return c.TriMultiplicity
+}

@@ -1,0 +1,159 @@
+package motif
+
+// This file pins counter cells to motif labels Mij. The mapping is
+// reconstructed from the paper's text (see DESIGN.md §3.4) and verified in
+// tests against every worked example the paper gives:
+//
+//	Star[I,in,o,in] = M24          (Sec. IV-A.2)
+//	Star[III,o,o,in] = M63         (Fig. 1 walk-through)
+//	Pair[o,in,o] = M65             (Fig. 1 walk-through)
+//	Tri[III,o,in,o] ≅ Tri[II,in,o,in] ≅ Tri[I,o,in,o] = M25 (Sec. IV-B.3)
+//	and the full Fig. 8 table for triangles.
+
+// StarLabel maps a star counter cell to its motif label. The bijection: the
+// motif's row pair is fixed by the star type (Star-I -> rows 1-2, Star-II ->
+// rows 3-4, Star-III -> rows 5-6); within the pair the isolated edge's
+// direction selects the row (Out -> first, In -> second); the column encodes
+// the two paired edges' directions in time order:
+// (In,Out)->1, (In,In)->2, (Out,Out)->3, (Out,In)->4.
+func StarLabel(t StarType, d1, d2, d3 Dir) Label {
+	var isolated Dir
+	var pa, pb Dir // paired edges in time order
+	switch t {
+	case StarI:
+		isolated, pa, pb = d1, d2, d3
+	case StarII:
+		isolated, pa, pb = d2, d1, d3
+	case StarIII:
+		isolated, pa, pb = d3, d1, d2
+	}
+	row := 2 * int(t)
+	if isolated == Out {
+		row++
+	} else {
+		row += 2
+	}
+	col := starCol(pa, pb)
+	return Label{Row: row, Col: col}
+}
+
+func starCol(a, b Dir) int {
+	switch {
+	case a == In && b == Out:
+		return 1
+	case a == In && b == In:
+		return 2
+	case a == Out && b == Out:
+		return 3
+	default: // Out, In
+		return 4
+	}
+}
+
+// PairLabel maps a pair counter cell (directions relative to either
+// endpoint) to its motif label. The two complementary cells (d1,d2,d3) and
+// (¬d1,¬d2,¬d3) name the same motif.
+func PairLabel(d1, d2, d3 Dir) Label {
+	// Canonicalise on the orientation whose first edge is Out.
+	if d1 == In {
+		d1, d2, d3 = d1.Flip(), d2.Flip(), d3.Flip()
+	}
+	switch {
+	case d2 == Out && d3 == Out: // o,o,o
+		return Label{5, 5}
+	case d2 == In && d3 == In: // o,in,in  (≅ in,o,o)
+		return Label{5, 6}
+	case d2 == In && d3 == Out: // o,in,o  (≅ in,o,in)
+		return Label{6, 5}
+	default: // o,o,in  (≅ in,in,o)
+		return Label{6, 6}
+	}
+}
+
+// triLabelTable transcribes the paper's Fig. 8: for each triangle label the
+// three isomorphic counter cells (one per center-vertex choice).
+var triLabelTable = []struct {
+	label Label
+	cells [3]int
+}{
+	{Label{4, 5}, [3]int{TriIndex(TriI, In, Out, Out), TriIndex(TriII, In, In, Out), TriIndex(TriIII, Out, Out, In)}},
+	{Label{3, 5}, [3]int{TriIndex(TriI, Out, Out, Out), TriIndex(TriII, In, In, In), TriIndex(TriIII, Out, In, In)}},
+	{Label{1, 5}, [3]int{TriIndex(TriI, In, In, Out), TriIndex(TriII, In, Out, Out), TriIndex(TriIII, Out, Out, Out)}},
+	{Label{2, 5}, [3]int{TriIndex(TriI, Out, In, Out), TriIndex(TriII, In, Out, In), TriIndex(TriIII, Out, In, Out)}},
+	{Label{2, 6}, [3]int{TriIndex(TriI, In, Out, In), TriIndex(TriII, Out, In, Out), TriIndex(TriIII, In, Out, In)}},
+	{Label{4, 6}, [3]int{TriIndex(TriI, Out, Out, In), TriIndex(TriII, Out, In, In), TriIndex(TriIII, In, In, In)}},
+	{Label{1, 6}, [3]int{TriIndex(TriI, In, In, In), TriIndex(TriII, Out, Out, Out), TriIndex(TriIII, In, Out, Out)}},
+	{Label{3, 6}, [3]int{TriIndex(TriI, Out, In, In), TriIndex(TriII, Out, Out, In), TriIndex(TriIII, In, In, Out)}},
+}
+
+// triCellLabel[i] is the label of TriCounter cell i.
+var triCellLabel [24]Label
+
+func init() {
+	var seen [24]bool
+	for _, row := range triLabelTable {
+		for _, c := range row.cells {
+			if seen[c] {
+				panic("motif: duplicate triangle cell in Fig. 8 table")
+			}
+			seen[c] = true
+			triCellLabel[c] = row.label
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			panic("motif: triangle cell missing from Fig. 8 table: " + triCellLabel[i].String())
+		}
+	}
+}
+
+// TriLabel maps a triangle counter cell to its motif label (paper Fig. 8).
+func TriLabel(t TriType, di, dj, dk Dir) Label {
+	return triCellLabel[TriIndex(t, di, dj, dk)]
+}
+
+// TriCells returns the three isomorphic counter cells of a triangle label.
+// ok is false when the label is not a triangle motif.
+func TriCells(l Label) (cells [3]int, ok bool) {
+	for _, row := range triLabelTable {
+		if row.label == l {
+			return row.cells, true
+		}
+	}
+	return cells, false
+}
+
+// PairCells returns the two complementary counter cells of a pair label.
+// ok is false when the label is not a pair motif.
+func PairCells(l Label) (cells [2]int, ok bool) {
+	if l.Category() != CategoryPair {
+		return cells, false
+	}
+	n := 0
+	for i := 0; i < 8; i++ {
+		d1, d2, d3 := PairDirs(i)
+		if PairLabel(d1, d2, d3) == l {
+			cells[n] = i
+			n++
+		}
+	}
+	if n != 2 {
+		return cells, false
+	}
+	return cells, true
+}
+
+// StarCellOf returns the unique counter cell of a star label. ok is false
+// when the label is not a star motif.
+func StarCellOf(l Label) (cell int, ok bool) {
+	if l.Category() != CategoryStar {
+		return 0, false
+	}
+	for i := 0; i < 24; i++ {
+		t, d1, d2, d3 := StarCell(i)
+		if StarLabel(t, d1, d2, d3) == l {
+			return i, true
+		}
+	}
+	return 0, false
+}

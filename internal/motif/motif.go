@@ -1,0 +1,174 @@
+// Package motif defines the taxonomy of 2- and 3-node, 3-edge δ-temporal
+// motifs from Paranjape et al. (WSDM'17) as used by Gao et al. (ICDE 2022):
+// the 36-label grid M11..M66, the pair/star/triangle categorisation, the
+// compact triple and quadruple counters (Pair[2][2][2], Star[3][2][2][2],
+// Tri[3][2][2][2]) and the isomorphism merges that map counter cells onto
+// motif labels.
+package motif
+
+import "fmt"
+
+// Dir is an edge direction relative to a reference node: In points toward
+// it, Out points away (the paper's "in"/"o").
+type Dir uint8
+
+const (
+	In  Dir = 0
+	Out Dir = 1
+)
+
+// String returns the paper's notation for the direction.
+func (d Dir) String() string {
+	if d == Out {
+		return "o"
+	}
+	return "in"
+}
+
+// Flip returns the direction seen from the other endpoint.
+func (d Dir) Flip() Dir { return d ^ 1 }
+
+// StarType is the position of the isolated edge in a star motif (paper
+// Fig. 3): Star-I isolated first, Star-II isolated second, Star-III isolated
+// third.
+type StarType uint8
+
+const (
+	StarI StarType = iota
+	StarII
+	StarIII
+)
+
+func (t StarType) String() string {
+	switch t {
+	case StarI:
+		return "Star-I"
+	case StarII:
+		return "Star-II"
+	case StarIII:
+		return "Star-III"
+	}
+	return fmt.Sprintf("StarType(%d)", uint8(t))
+}
+
+// TriType is the temporal position of the non-center edge e_k relative to the
+// two center-incident edges e_i < e_j (paper Fig. 7): Triangle-I before both,
+// Triangle-II between, Triangle-III after both.
+type TriType uint8
+
+const (
+	TriI TriType = iota
+	TriII
+	TriIII
+)
+
+func (t TriType) String() string {
+	switch t {
+	case TriI:
+		return "Triangle-I"
+	case TriII:
+		return "Triangle-II"
+	case TriIII:
+		return "Triangle-III"
+	}
+	return fmt.Sprintf("TriType(%d)", uint8(t))
+}
+
+// Category partitions the 36 motifs by topology.
+type Category uint8
+
+const (
+	CategoryPair Category = iota // 2 nodes, 3 edges (4 motifs)
+	CategoryStar                 // 3 nodes, star structure (24 motifs)
+	CategoryTri                  // 3 nodes, triangle structure (8 motifs)
+)
+
+func (c Category) String() string {
+	switch c {
+	case CategoryPair:
+		return "pair"
+	case CategoryStar:
+		return "star"
+	case CategoryTri:
+		return "triangle"
+	}
+	return fmt.Sprintf("Category(%d)", uint8(c))
+}
+
+// Label names a motif cell Mij of the 6×6 grid; Row and Col are 1-based.
+type Label struct {
+	Row, Col int
+}
+
+// String renders the paper's Mij notation, e.g. "M24".
+func (l Label) String() string { return fmt.Sprintf("M%d%d", l.Row, l.Col) }
+
+// Valid reports whether the label addresses a grid cell.
+func (l Label) Valid() bool {
+	return l.Row >= 1 && l.Row <= 6 && l.Col >= 1 && l.Col <= 6
+}
+
+// Category returns the topological category of the labelled motif:
+// rows 5-6 × cols 5-6 are pairs, rows 1-4 × cols 5-6 are triangles, the
+// remaining 24 cells (cols 1-4) are stars.
+func (l Label) Category() Category {
+	switch {
+	case l.Col <= 4:
+		return CategoryStar
+	case l.Row <= 4:
+		return CategoryTri
+	default:
+		return CategoryPair
+	}
+}
+
+// ParseLabel parses "Mij" (case-insensitive, e.g. "m24").
+func ParseLabel(s string) (Label, error) {
+	if len(s) != 3 || (s[0] != 'M' && s[0] != 'm') {
+		return Label{}, fmt.Errorf("motif: bad label %q (want Mij)", s)
+	}
+	r, c := int(s[1]-'0'), int(s[2]-'0')
+	l := Label{Row: r, Col: c}
+	if !l.Valid() {
+		return Label{}, fmt.Errorf("motif: label %q out of range", s)
+	}
+	return l, nil
+}
+
+// AllLabels returns the 36 labels in row-major order.
+func AllLabels() []Label {
+	out := make([]Label, 0, 36)
+	for r := 1; r <= 6; r++ {
+		for c := 1; c <= 6; c++ {
+			out = append(out, Label{Row: r, Col: c})
+		}
+	}
+	return out
+}
+
+// PairLabels returns the 4 pair motif labels.
+func PairLabels() []Label {
+	return []Label{{5, 5}, {5, 6}, {6, 5}, {6, 6}}
+}
+
+// StarLabels returns the 24 star motif labels in row-major order.
+func StarLabels() []Label {
+	out := make([]Label, 0, 24)
+	for r := 1; r <= 6; r++ {
+		for c := 1; c <= 4; c++ {
+			out = append(out, Label{Row: r, Col: c})
+		}
+	}
+	return out
+}
+
+// TriLabels returns the 8 triangle motif labels in row-major order.
+func TriLabels() []Label {
+	out := make([]Label, 0, 8)
+	for r := 1; r <= 4; r++ {
+		for c := 5; c <= 6; c++ {
+			out = append(out, Label{Row: r, Col: c})
+		}
+	}
+	return out
+}

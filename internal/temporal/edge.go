@@ -1,0 +1,63 @@
+// Package temporal provides the temporal-graph substrate used by every
+// algorithm in this repository: directed timestamped multigraphs with
+// per-node time-ordered edge sequences and per-pair edge indexes.
+//
+// The representation is tuned for the access patterns of δ-temporal motif
+// counting (Gao et al., ICDE 2022):
+//
+//   - Seq(u) returns the edge sequence S_u of a center node u, sorted
+//     chronologically, with each entry carrying the neighbor, the direction
+//     relative to u, and the global edge ID;
+//   - Between(v, w) returns E(v,w), all edges between two nodes regardless
+//     of direction, sorted chronologically, with directions relative to v.
+//
+// Tie-breaking: after a stable sort by timestamp every edge receives an
+// EdgeID equal to its sorted position. All chronological-order comparisons in
+// this module tree use EdgeID (a total order), while δ-window checks use raw
+// timestamps. This makes instance counting deterministic and consistent
+// across all algorithms even when timestamps collide.
+package temporal
+
+import "fmt"
+
+// NodeID identifies a node. Nodes are dense integers in [0, NumNodes).
+type NodeID = int32
+
+// EdgeID identifies an edge by its position in the chronologically sorted
+// edge list. EdgeIDs define the total temporal order used for motif
+// instances.
+type EdgeID = int32
+
+// Timestamp is an edge's time in arbitrary integer units (seconds in all of
+// the paper's datasets).
+type Timestamp = int64
+
+// Edge is a directed temporal edge From -> To at time Time.
+type Edge struct {
+	From NodeID
+	To   NodeID
+	Time Timestamp
+}
+
+// String renders the edge in "(u,v,t)" paper notation.
+func (e Edge) String() string {
+	return fmt.Sprintf("(%d,%d,%d)", e.From, e.To, e.Time)
+}
+
+// HalfEdge is an edge viewed from one of its endpoints ("w.r.t. the center
+// node u" in the paper's terminology: e = (t, v, dir)).
+type HalfEdge struct {
+	ID    EdgeID    // global chronological edge ID
+	Time  Timestamp // edge timestamp
+	Other NodeID    // the node on the other side
+	Out   bool      // true if the edge points away from the owning node
+}
+
+// Dir returns 1 for outward edges and 0 for inward edges, matching the
+// direction index used by the motif counters.
+func (h HalfEdge) Dir() int {
+	if h.Out {
+		return 1
+	}
+	return 0
+}

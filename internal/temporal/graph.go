@@ -1,0 +1,217 @@
+package temporal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable directed temporal multigraph.
+//
+// Edges are stored sorted by (Time, insertion order); the index of an edge in
+// that order is its EdgeID. For every node the graph keeps the incident edge
+// sequence S_u (sorted by EdgeID) and a neighbor index that yields E(v,w),
+// the chronologically sorted multi-edges between two nodes.
+//
+// A Graph is safe for concurrent readers.
+type Graph struct {
+	edges []Edge       // sorted by (Time, original order)
+	seq   [][]HalfEdge // seq[u] = S_u, sorted by EdgeID
+	// nbrIndex[v] maps a neighbor w to the slice of v's half-edges whose
+	// Other == w, sorted by EdgeID. Shared backing with pairStore.
+	nbrIndex  []map[NodeID][]HalfEdge
+	numNodes  int
+	selfLoops int // self-loops dropped at build time
+}
+
+// NumNodes returns the number of nodes (the node ID space is [0, NumNodes)).
+func (g *Graph) NumNodes() int { return g.numNodes }
+
+// NumEdges returns the number of temporal edges (excluding dropped
+// self-loops).
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// SelfLoopsDropped reports how many self-loop edges were discarded when the
+// graph was built. δ-temporal motifs never contain self-loops.
+func (g *Graph) SelfLoopsDropped() int { return g.selfLoops }
+
+// Edges returns the chronologically sorted edge list. The caller must not
+// modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// Seq returns S_u: node u's incident edges in chronological (EdgeID) order.
+// Out-of-range nodes yield nil. The caller must not modify the result.
+func (g *Graph) Seq(u NodeID) []HalfEdge {
+	if u < 0 || int(u) >= len(g.seq) {
+		return nil
+	}
+	return g.seq[u]
+}
+
+// Degree returns the temporal degree of u, i.e. len(S_u); a multi-edge
+// contributes once per occurrence. Out-of-range nodes have degree 0.
+func (g *Graph) Degree(u NodeID) int {
+	if u < 0 || int(u) >= len(g.seq) {
+		return 0
+	}
+	return len(g.seq[u])
+}
+
+// Between returns E(v,w): every edge between v and w in either direction,
+// sorted by EdgeID, with Out recorded relative to v (Out == true means
+// v -> w). Returns nil when no edge exists. The caller must not modify it.
+func (g *Graph) Between(v, w NodeID) []HalfEdge {
+	if int(v) >= len(g.nbrIndex) {
+		return nil
+	}
+	return g.nbrIndex[v][w]
+}
+
+// TimeSpan returns the minimum and maximum timestamps. ok is false for an
+// empty graph.
+func (g *Graph) TimeSpan() (min, max Timestamp, ok bool) {
+	if len(g.edges) == 0 {
+		return 0, 0, false
+	}
+	return g.edges[0].Time, g.edges[len(g.edges)-1].Time, true
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+// The zero value is ready to use.
+type Builder struct {
+	edges     []Edge
+	maxNode   NodeID
+	selfLoops int
+}
+
+// NewBuilder returns a Builder with capacity for n edges.
+func NewBuilder(n int) *Builder {
+	return &Builder{edges: make([]Edge, 0, n)}
+}
+
+// AddEdge records the directed temporal edge u -> v at time t. Self-loops
+// (u == v) are counted and dropped. Negative node IDs are rejected.
+func (b *Builder) AddEdge(u, v NodeID, t Timestamp) error {
+	if u < 0 || v < 0 {
+		return fmt.Errorf("temporal: negative node id (%d,%d)", u, v)
+	}
+	if u == v {
+		b.selfLoops++
+		return nil
+	}
+	if u > b.maxNode {
+		b.maxNode = u
+	}
+	if v > b.maxNode {
+		b.maxNode = v
+	}
+	b.edges = append(b.edges, Edge{From: u, To: v, Time: t})
+	return nil
+}
+
+// Len returns the number of edges added so far (self-loops excluded).
+func (b *Builder) Len() int { return len(b.edges) }
+
+// Build finalises the graph: stable-sorts edges by time (assigning EdgeIDs),
+// builds per-node sequences and the neighbor index. The Builder must not be
+// reused afterwards.
+func (b *Builder) Build() *Graph {
+	edges := b.edges
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Time < edges[j].Time })
+
+	n := 0
+	if len(edges) > 0 || b.maxNode > 0 {
+		n = int(b.maxNode) + 1
+	}
+	g := &Graph{
+		edges:     edges,
+		numNodes:  n,
+		selfLoops: b.selfLoops,
+	}
+
+	// Per-node degree counting, then one backing array per node to keep
+	// allocation count low on large graphs.
+	deg := make([]int32, n)
+	for _, e := range edges {
+		deg[e.From]++
+		deg[e.To]++
+	}
+	g.seq = make([][]HalfEdge, n)
+	for u := range g.seq {
+		if deg[u] > 0 {
+			g.seq[u] = make([]HalfEdge, 0, deg[u])
+		}
+	}
+	for i, e := range edges {
+		id := EdgeID(i)
+		g.seq[e.From] = append(g.seq[e.From], HalfEdge{ID: id, Time: e.Time, Other: e.To, Out: true})
+		g.seq[e.To] = append(g.seq[e.To], HalfEdge{ID: id, Time: e.Time, Other: e.From, Out: false})
+	}
+
+	g.nbrIndex = make([]map[NodeID][]HalfEdge, n)
+	for u := range g.nbrIndex {
+		if len(g.seq[u]) == 0 {
+			continue
+		}
+		m := make(map[NodeID][]HalfEdge)
+		for _, h := range g.seq[u] {
+			m[h.Other] = append(m[h.Other], h)
+		}
+		g.nbrIndex[u] = m
+	}
+	return g
+}
+
+// FromEdges builds a Graph directly from an edge slice. The input slice is
+// copied. Self-loops are dropped.
+func FromEdges(edges []Edge) *Graph {
+	b := NewBuilder(len(edges))
+	for _, e := range edges {
+		_ = b.AddEdge(e.From, e.To, e.Time) // AddEdge only fails on negative IDs
+	}
+	return b.Build()
+}
+
+// Validate performs internal-consistency checks (intended for tests and the
+// CLI's --check flag). It returns the first violation found.
+func (g *Graph) Validate() error {
+	for i := 1; i < len(g.edges); i++ {
+		if g.edges[i].Time < g.edges[i-1].Time {
+			return fmt.Errorf("temporal: edges out of order at id %d", i)
+		}
+	}
+	var halves int
+	for u, s := range g.seq {
+		for i, h := range s {
+			if i > 0 && h.ID <= s[i-1].ID {
+				return fmt.Errorf("temporal: S_%d out of EdgeID order at %d", u, i)
+			}
+			e := g.edges[h.ID]
+			switch {
+			case h.Out && (e.From != NodeID(u) || e.To != h.Other):
+				return fmt.Errorf("temporal: S_%d[%d] inconsistent outward half-edge", u, i)
+			case !h.Out && (e.To != NodeID(u) || e.From != h.Other):
+				return fmt.Errorf("temporal: S_%d[%d] inconsistent inward half-edge", u, i)
+			}
+		}
+		halves += len(s)
+	}
+	if halves != 2*len(g.edges) {
+		return fmt.Errorf("temporal: %d half-edges for %d edges", halves, len(g.edges))
+	}
+	for v, m := range g.nbrIndex {
+		for w, hs := range m {
+			for i, h := range hs {
+				if h.Other != w {
+					return fmt.Errorf("temporal: nbrIndex[%d][%d] contains edge to %d", v, w, h.Other)
+				}
+				if i > 0 && h.ID <= hs[i-1].ID {
+					return fmt.Errorf("temporal: nbrIndex[%d][%d] out of order", v, w)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package temporal
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadOptions controls edge-list parsing.
+type LoadOptions struct {
+	// Comma treats ',' as an additional field separator (SNAP files are
+	// whitespace separated, NetworkRepository files are often CSV).
+	Comma bool
+	// Relabel maps arbitrary non-negative source IDs to a dense [0,n) space.
+	// Without it node IDs must already be dense-ish non-negative integers.
+	Relabel bool
+	// MaxEdges, when > 0, stops after reading that many edges (useful for
+	// sampling the head of a very large file).
+	MaxEdges int
+}
+
+// ReadEdgeList parses "u v t" lines from r and builds a Graph.
+//
+// Lines starting with '#' or '%' and blank lines are skipped. Fields are
+// separated by whitespace (and commas with opts.Comma). Extra trailing fields
+// are ignored, so 4-column formats such as Bitcoin-OTC's "u,v,rating,t" are
+// NOT auto-detected — pre-process those or use exactly three leading columns.
+func ReadEdgeList(r io.Reader, opts LoadOptions) (*Graph, error) {
+	b := NewBuilder(1024)
+	relabel := map[int64]NodeID{}
+	next := NodeID(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		if opts.Comma {
+			line = strings.ReplaceAll(line, ",", " ")
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("temporal: line %d: want at least 3 fields, got %d", lineNo, len(fields))
+		}
+		u64, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("temporal: line %d: bad source node %q: %v", lineNo, fields[0], err)
+		}
+		v64, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("temporal: line %d: bad target node %q: %v", lineNo, fields[1], err)
+		}
+		t, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("temporal: line %d: bad timestamp %q: %v", lineNo, fields[2], err)
+		}
+		var u, v NodeID
+		if opts.Relabel {
+			u, next = relabelID(relabel, u64, next)
+			v, next = relabelID(relabel, v64, next)
+		} else {
+			if u64 < 0 || v64 < 0 || u64 > 1<<31-1 || v64 > 1<<31-1 {
+				return nil, fmt.Errorf("temporal: line %d: node id out of range (use Relabel)", lineNo)
+			}
+			u, v = NodeID(u64), NodeID(v64)
+		}
+		if err := b.AddEdge(u, v, t); err != nil {
+			return nil, fmt.Errorf("temporal: line %d: %v", lineNo, err)
+		}
+		if opts.MaxEdges > 0 && b.Len() >= opts.MaxEdges {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("temporal: read: %v", err)
+	}
+	return b.Build(), nil
+}
+
+func relabelID(m map[int64]NodeID, raw int64, next NodeID) (NodeID, NodeID) {
+	if id, ok := m[raw]; ok {
+		return id, next
+	}
+	m[raw] = next
+	return next, next + 1
+}
+
+// LoadFile reads an edge-list file, transparently decompressing ".gz" paths.
+func LoadFile(path string, opts LoadOptions) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("temporal: gzip %s: %v", path, err)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	return ReadEdgeList(r, opts)
+}
+
+// WriteEdgeList writes the graph as "u v t" lines in chronological order.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.From, e.To, e.Time); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the graph to path as an edge list, gzip-compressed when the
+// path ends in ".gz".
+func SaveFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		zw := gzip.NewWriter(f)
+		if err := WriteEdgeList(zw, g); err != nil {
+			zw.Close()
+			return err
+		}
+		return zw.Close()
+	}
+	return WriteEdgeList(f, g)
+}

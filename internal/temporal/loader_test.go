@@ -1,0 +1,120 @@
+package temporal
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment line
+% another comment
+
+0 1 100
+1 2 105 extra-field-ignored
+2 0 110
+`
+	g, err := ReadEdgeList(strings.NewReader(in), LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 || g.NumNodes() != 3 {
+		t.Fatalf("edges=%d nodes=%d, want 3/3", g.NumEdges(), g.NumNodes())
+	}
+}
+
+func TestReadEdgeListComma(t *testing.T) {
+	in := "0,1,100\n1,2,105\n"
+	g, err := ReadEdgeList(strings.NewReader(in), LoadOptions{Comma: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges=%d, want 2", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListRelabel(t *testing.T) {
+	in := "1000000000000 9 5\n9 1000000000000 6\n"
+	if _, err := ReadEdgeList(strings.NewReader(in), LoadOptions{}); err == nil {
+		t.Fatal("want out-of-range error without Relabel")
+	}
+	g, err := ReadEdgeList(strings.NewReader(in), LoadOptions{Relabel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 2 {
+		t.Fatalf("nodes=%d edges=%d, want 2/2", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0 1\n",       // too few fields
+		"x 1 5\n",     // bad source
+		"0 y 5\n",     // bad target
+		"0 1 zzz\n",   // bad timestamp
+		"-4 1 5\n",    // negative node without relabel
+		"0 1 5\n-1 2", // negative later line
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), LoadOptions{}); err == nil {
+			t.Errorf("input %q: want error", in)
+		}
+	}
+}
+
+func TestReadEdgeListMaxEdges(t *testing.T) {
+	in := "0 1 1\n1 2 2\n2 3 3\n3 4 4\n"
+	g, err := ReadEdgeList(strings.NewReader(in), LoadOptions{MaxEdges: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges=%d, want 2", g.NumEdges())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := FromEdges([]Edge{{0, 1, 3}, {2, 1, 1}, {1, 0, 7}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip lost edges: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	for i, e := range g.Edges() {
+		if g2.Edges()[i] != e {
+			t.Fatalf("edge %d = %v, want %v", i, g2.Edges()[i], e)
+		}
+	}
+}
+
+func TestSaveLoadFileGzip(t *testing.T) {
+	g := FromEdges([]Edge{{0, 1, 3}, {2, 1, 1}, {1, 0, 7}})
+	for _, name := range []string{"g.txt", "g.txt.gz"} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := SaveFile(path, g); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		g2, err := LoadFile(path, LoadOptions{})
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: edges=%d, want %d", name, g2.NumEdges(), g.NumEdges())
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.txt"), LoadOptions{}); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}

@@ -1,0 +1,141 @@
+package temporal
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Stats summarises a temporal graph, mirroring the columns of the paper's
+// Table II plus the degree-skew quantities behind Fig. 9.
+type Stats struct {
+	Nodes         int
+	Edges         int
+	SelfLoops     int
+	TimeSpan      Timestamp // max(t) - min(t)
+	MaxDegree     int
+	MeanDegree    float64
+	TopDegrees    []int   // highest temporal degrees, descending
+	DegreeGini    float64 // Gini coefficient of the temporal degree sequence
+	ActiveNodes   int     // nodes with degree > 0
+	DistinctPairs int     // unordered node pairs with at least one edge
+}
+
+// ComputeStats scans the graph once and returns its statistics. topK bounds
+// len(TopDegrees); topK <= 0 defaults to 20 (the paper's thrd heuristic uses
+// the top-20 degrees).
+func ComputeStats(g *Graph, topK int) Stats {
+	if topK <= 0 {
+		topK = 20
+	}
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges(), SelfLoops: g.SelfLoopsDropped()}
+	if min, max, ok := g.TimeSpan(); ok {
+		s.TimeSpan = max - min
+	}
+	degs := make([]int, 0, g.NumNodes())
+	var sum int
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.Degree(NodeID(u))
+		if d == 0 {
+			continue
+		}
+		s.ActiveNodes++
+		degs = append(degs, d)
+		sum += d
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		s.DistinctPairs += len(g.nbrIndex[u])
+	}
+	s.DistinctPairs /= 2
+	if s.ActiveNodes > 0 {
+		s.MeanDegree = float64(sum) / float64(s.ActiveNodes)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	if len(degs) > topK {
+		s.TopDegrees = append([]int(nil), degs[:topK]...)
+	} else {
+		s.TopDegrees = append([]int(nil), degs...)
+	}
+	s.DegreeGini = gini(degs)
+	return s
+}
+
+// gini computes the Gini coefficient of a descending-sorted positive slice.
+func gini(desc []int) float64 {
+	n := len(desc)
+	if n == 0 {
+		return 0
+	}
+	// Work on the ascending order for the standard formula
+	// G = (2*sum(i*x_i)/(n*sum(x)) - (n+1)/n), i is 1-based ascending rank.
+	var total, weighted float64
+	for i := n - 1; i >= 0; i-- {
+		rank := float64(n - i) // ascending rank of desc[i]
+		x := float64(desc[i])
+		total += x
+		weighted += rank * x
+	}
+	if total == 0 {
+		return 0
+	}
+	return 2*weighted/(float64(n)*total) - float64(n+1)/float64(n)
+}
+
+// DegreeHistogram returns log-binned (base-2) counts of temporal degrees:
+// bin b holds nodes with degree in [2^b, 2^(b+1)). Used by the Fig. 9
+// reproduction.
+func DegreeHistogram(g *Graph) []int {
+	var bins []int
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.Degree(NodeID(u))
+		if d == 0 {
+			continue
+		}
+		b := 0
+		for d >= 2 {
+			d >>= 1
+			b++
+		}
+		for len(bins) <= b {
+			bins = append(bins, 0)
+		}
+		bins[b]++
+	}
+	return bins
+}
+
+// TopKDegreeThreshold returns the paper's default degree threshold thrd: the
+// minimum temporal degree among the k highest-degree nodes. Returns 0 when
+// the graph has fewer than k active nodes (meaning: no intra-node stage).
+func TopKDegreeThreshold(g *Graph, k int) int {
+	if k <= 0 {
+		k = 20
+	}
+	top := make([]int, 0, k) // ascending min-heap substitute: small k, keep sorted
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.Degree(NodeID(u))
+		if d == 0 {
+			continue
+		}
+		if len(top) < k {
+			top = append(top, d)
+			sort.Ints(top)
+			continue
+		}
+		if d > top[0] {
+			top[0] = d
+			sort.Ints(top)
+		}
+	}
+	if len(top) < k {
+		return 0
+	}
+	return top[0]
+}
+
+// WriteStats renders s as an aligned human-readable block.
+func WriteStats(w io.Writer, name string, s Stats) {
+	fmt.Fprintf(w, "%-16s nodes=%-9d edges=%-10d span=%-12d maxdeg=%-8d meandeg=%-8.2f gini=%.3f\n",
+		name, s.Nodes, s.Edges, s.TimeSpan, s.MaxDegree, s.MeanDegree, s.DegreeGini)
+}

@@ -1,0 +1,125 @@
+package temporal
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestComputeStats(t *testing.T) {
+	g := FromEdges([]Edge{
+		{0, 1, 0}, {0, 1, 10}, {0, 2, 20}, {3, 0, 30},
+	})
+	s := ComputeStats(g, 20)
+	if s.Nodes != 4 || s.Edges != 4 {
+		t.Fatalf("nodes=%d edges=%d, want 4/4", s.Nodes, s.Edges)
+	}
+	if s.TimeSpan != 30 {
+		t.Fatalf("span=%d, want 30", s.TimeSpan)
+	}
+	if s.MaxDegree != 4 { // node 0 touches all four edges
+		t.Fatalf("maxdeg=%d, want 4", s.MaxDegree)
+	}
+	if s.ActiveNodes != 4 {
+		t.Fatalf("active=%d, want 4", s.ActiveNodes)
+	}
+	if s.DistinctPairs != 3 { // {0,1},{0,2},{0,3}
+		t.Fatalf("pairs=%d, want 3", s.DistinctPairs)
+	}
+	if s.MeanDegree != 2 { // total degree 8 over 4 active nodes
+		t.Fatalf("meandeg=%f, want 2", s.MeanDegree)
+	}
+	if len(s.TopDegrees) != 4 || s.TopDegrees[0] != 4 {
+		t.Fatalf("top degrees = %v", s.TopDegrees)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := gini([]int{5, 5, 5, 5}); g != 0 {
+		t.Fatalf("uniform gini = %f, want 0", g)
+	}
+	if g := gini(nil); g != 0 {
+		t.Fatalf("empty gini = %f, want 0", g)
+	}
+	// One node owns everything: gini -> (n-1)/n.
+	if g := gini([]int{100, 0, 0, 0}); g < 0.74 || g > 0.76 {
+		t.Fatalf("concentrated gini = %f, want ~0.75", g)
+	}
+	// Skewed distributions rank above flatter ones.
+	skewed := gini([]int{100, 10, 5, 1})
+	flat := gini([]int{30, 29, 29, 28})
+	if skewed <= flat {
+		t.Fatalf("gini ordering wrong: skewed=%f flat=%f", skewed, flat)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := FromEdges([]Edge{
+		{0, 1, 0}, {0, 2, 1}, {0, 3, 2}, {0, 4, 3}, // deg(0)=4 -> bin 2
+	})
+	h := DegreeHistogram(g)
+	// deg 1 nodes (1,2,3,4) -> bin 0; deg 4 node -> bin 2.
+	if len(h) != 3 || h[0] != 4 || h[1] != 0 || h[2] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestTopKDegreeThreshold(t *testing.T) {
+	b := NewBuilder(0)
+	// Node degrees: node i gets i+1 edges to a fresh sink each.
+	next := NodeID(100)
+	for i := 0; i < 10; i++ {
+		for j := 0; j <= i; j++ {
+			_ = b.AddEdge(NodeID(i), next, Timestamp(j))
+			next++
+		}
+	}
+	g := b.Build()
+	// Top-3 hub degrees are 10, 9, 8 -> threshold 8.
+	if got := TopKDegreeThreshold(g, 3); got != 8 {
+		t.Fatalf("threshold = %d, want 8", got)
+	}
+	// More slots than active nodes -> 0 (disable intra-node stage).
+	if got := TopKDegreeThreshold(g, 10_000); got != 0 {
+		t.Fatalf("threshold = %d, want 0", got)
+	}
+}
+
+func TestTopKDegreeThresholdRandomAgainstSort(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(r, 30, 400, 100)
+		k := 1 + r.Intn(10)
+		var degs []int
+		for u := 0; u < g.NumNodes(); u++ {
+			if d := g.Degree(NodeID(u)); d > 0 {
+				degs = append(degs, d)
+			}
+		}
+		want := 0
+		if len(degs) >= k {
+			// selection by sort
+			for i := 0; i < len(degs); i++ {
+				for j := i + 1; j < len(degs); j++ {
+					if degs[j] > degs[i] {
+						degs[i], degs[j] = degs[j], degs[i]
+					}
+				}
+			}
+			want = degs[k-1]
+		}
+		if got := TopKDegreeThreshold(g, k); got != want {
+			t.Fatalf("trial %d k=%d: threshold=%d want %d", trial, k, got, want)
+		}
+	}
+}
+
+func TestWriteStats(t *testing.T) {
+	g := FromEdges([]Edge{{0, 1, 0}, {1, 2, 5}})
+	var b strings.Builder
+	WriteStats(&b, "tiny", ComputeStats(g, 5))
+	out := b.String()
+	if !strings.Contains(out, "tiny") || !strings.Contains(out, "edges=2") {
+		t.Fatalf("unexpected stats line: %q", out)
+	}
+}

@@ -1,0 +1,58 @@
+package temporal
+
+import "sort"
+
+// TimeSlice returns the subgraph of edges with timestamps in [lo, hi).
+// Relative edge order (and hence tie-breaking) is preserved.
+func (g *Graph) TimeSlice(lo, hi Timestamp) *Graph {
+	edges := g.edges
+	from := sort.Search(len(edges), func(i int) bool { return edges[i].Time >= lo })
+	to := sort.Search(len(edges), func(i int) bool { return edges[i].Time >= hi })
+	return FromEdges(edges[from:to])
+}
+
+// InducedSubgraph returns the subgraph of edges whose both endpoints are in
+// nodes. Node IDs are preserved (the result has the same ID space).
+func (g *Graph) InducedSubgraph(nodes []NodeID) *Graph {
+	keep := make(map[NodeID]struct{}, len(nodes))
+	for _, u := range nodes {
+		keep[u] = struct{}{}
+	}
+	b := NewBuilder(len(g.edges) / 4)
+	for _, e := range g.edges {
+		if _, ok := keep[e.From]; !ok {
+			continue
+		}
+		if _, ok := keep[e.To]; !ok {
+			continue
+		}
+		_ = b.AddEdge(e.From, e.To, e.Time) // inputs come from a valid graph
+	}
+	return b.Build()
+}
+
+// FilterMinDegree returns the subgraph restricted to nodes whose temporal
+// degree in g is at least k (a one-shot degree filter, not an iterated
+// k-core).
+func (g *Graph) FilterMinDegree(k int) *Graph {
+	var nodes []NodeID
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.Degree(NodeID(u)) >= k {
+			nodes = append(nodes, NodeID(u))
+		}
+	}
+	return g.InducedSubgraph(nodes)
+}
+
+// EgoNetwork returns the subgraph induced by u and its static neighbors.
+func (g *Graph) EgoNetwork(u NodeID) *Graph {
+	if int(u) >= len(g.nbrIndex) || g.nbrIndex[u] == nil {
+		return g.InducedSubgraph([]NodeID{u})
+	}
+	nodes := make([]NodeID, 0, len(g.nbrIndex[u])+1)
+	nodes = append(nodes, u)
+	for w := range g.nbrIndex[u] {
+		nodes = append(nodes, w)
+	}
+	return g.InducedSubgraph(nodes)
+}

@@ -1,0 +1,89 @@
+package hare_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hare"
+)
+
+func TestStreamAPIMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	edges := make([]hare.Edge, 0, 300)
+	for i := 0; i < 300; i++ {
+		u := hare.NodeID(r.Intn(12))
+		v := hare.NodeID(r.Intn(12))
+		if u == v {
+			v = (v + 1) % 12
+		}
+		edges = append(edges, hare.Edge{From: u, To: v, Time: r.Int63n(100)})
+	}
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Time < edges[j].Time })
+
+	sc, err := hare.NewStream(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if err := sc.Add(e.From, e.To, e.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := hare.Count(hare.FromEdges(edges), 25, hare.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sc.Matrix()
+	if !got.Equal(&batch.Matrix) {
+		t.Fatalf("stream and batch disagree: %v", got.Diff(&batch.Matrix))
+	}
+}
+
+func TestSignificanceAPI(t *testing.T) {
+	// Tight ping-pong bursts on a sparse background: strongly significant
+	// against the time-shuffle null.
+	r := rand.New(rand.NewSource(62))
+	b := hare.NewBuilder(0)
+	for i := 0; i < 800; i++ {
+		u := hare.NodeID(r.Intn(40))
+		v := hare.NodeID(r.Intn(40))
+		if u == v {
+			v = (v + 1) % 40
+		}
+		_ = b.AddEdge(u, v, r.Int63n(1_000_000))
+	}
+	for i := 0; i < 40; i++ {
+		u := hare.NodeID(40 + r.Intn(5))
+		v := hare.NodeID(45 + r.Intn(5))
+		t0 := r.Int63n(1_000_000)
+		_ = b.AddEdge(u, v, t0)
+		_ = b.AddEdge(v, u, t0+3)
+		_ = b.AddEdge(u, v, t0+8)
+	}
+	g := b.Build()
+	rep, err := hare.Significance(g, 60, hare.SignificanceOptions{
+		Model: hare.NullTimeShuffle, Trials: 10, Seed: 3, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := rep.ZScore(hare.MustLabel("M65"))
+	if !(z > 3 || math.IsInf(z, 1)) {
+		t.Fatalf("planted M65 z = %.2f, want > 3", z)
+	}
+}
+
+func TestNullSampleAPI(t *testing.T) {
+	g := hare.FromEdges([]hare.Edge{
+		{From: 0, To: 1, Time: 1}, {From: 1, To: 2, Time: 2}, {From: 2, To: 0, Time: 3},
+	})
+	s, err := hare.NullSample(g, hare.NullDegreeRewire, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumEdges() != g.NumEdges() {
+		t.Fatal("sample changed edge count")
+	}
+}
