@@ -20,6 +20,7 @@ import (
 	"hare/internal/fast"
 	"hare/internal/gen"
 	"hare/internal/motif"
+	"hare/internal/stream"
 	"hare/internal/temporal"
 )
 
@@ -243,6 +244,66 @@ func BenchmarkFig12Thrd(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Streaming ingest throughput (edges/sec vs workers) ---------------------
+
+// benchStreamEdges returns a power-law edge stream in time order.
+func benchStreamEdges(b *testing.B, name string, scale float64) []temporal.Edge {
+	b.Helper()
+	return benchGraph(b, name, scale).Edges()
+}
+
+func benchStreamIngest(b *testing.B, mode stream.Mode) {
+	edges := benchStreamEdges(b, "wikitalk", 0.25)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(threadName(w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c, err := stream.NewCounter(stream.Options{
+					Delta: benchDelta, Mode: mode, Workers: w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for lo := 0; lo < len(edges); lo += 8192 {
+					hi := min(lo+8192, len(edges))
+					if err := c.AddBatch(edges[lo:hi]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+		})
+	}
+}
+
+// BenchmarkStreamIngest measures the parallel AddBatch path: edges/sec of
+// cumulative online counting as the worker count grows.
+func BenchmarkStreamIngest(b *testing.B) { benchStreamIngest(b, stream.Cumulative) }
+
+// BenchmarkStreamIngestSliding measures the same ingest with sliding-window
+// retirement enabled (roughly double the per-edge scan work).
+func BenchmarkStreamIngestSliding(b *testing.B) { benchStreamIngest(b, stream.Sliding) }
+
+// BenchmarkStreamIngestSequential is the one-edge-at-a-time baseline the
+// batched path is measured against.
+func BenchmarkStreamIngestSequential(b *testing.B) {
+	edges := benchStreamEdges(b, "wikitalk", 0.25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := stream.New(benchDelta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range edges {
+			if err := c.Add(e.From, e.To, e.Time); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
 }
 
 func threadName(th int) string {

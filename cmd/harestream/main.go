@@ -4,37 +4,40 @@
 //
 //	tail -f transactions.log | harestream -delta 600 -every 100000
 //	harestream -input edges.txt -delta 600 -watch M26 -every 50000
+//	harestream -input edges.txt -delta 600 -sliding -workers 8
 //
-// Input is one "u v t" edge per line in non-decreasing time order.
+// Input is one "u v t" edge per line in non-decreasing time order. Edges
+// are ingested in batches fanned out over worker goroutines; -sliding
+// additionally reports the counts of the last δ window at each snapshot.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"hare"
 )
 
 func main() {
 	var (
-		input = flag.String("input", "-", "edge stream file ('-' = stdin)")
-		delta = flag.Int64("delta", 600, "time window δ")
-		every = flag.Int("every", 100_000, "print a snapshot every N edges (0 = only at EOF)")
-		watch = flag.String("watch", "", "report only this motif (e.g. M26)")
+		input   = flag.String("input", "-", "edge stream file ('-' = stdin)")
+		delta   = flag.Int64("delta", 600, "time window δ")
+		every   = flag.Int("every", 100_000, "print a snapshot every N edges, to batch granularity (0 = only at EOF)")
+		watch   = flag.String("watch", "", "report only this motif (e.g. M26)")
+		workers = flag.Int("workers", 0, "ingest worker goroutines (0 = GOMAXPROCS)")
+		batch   = flag.Int("batch", 0, "edges per ingest batch (0 = default)")
+		sliding = flag.Bool("sliding", false, "track the last-δ window, not just cumulative totals")
 	)
 	flag.Parse()
-	if err := run(*input, *delta, *every, *watch); err != nil {
+	if err := run(*input, *delta, *every, *watch, *workers, *batch, *sliding); err != nil {
 		fmt.Fprintln(os.Stderr, "harestream:", err)
 		os.Exit(1)
 	}
 }
 
-func run(input string, delta int64, every int, watch string) error {
+func run(input string, delta int64, every int, watch string, workers, batch int, sliding bool) error {
 	var r io.Reader = os.Stdin
 	if input != "-" {
 		f, err := os.Open(input)
@@ -52,7 +55,11 @@ func run(input string, delta int64, every int, watch string) error {
 			return err
 		}
 	}
-	sc, err := hare.NewStream(delta)
+	mode := hare.StreamCumulative
+	if sliding {
+		mode = hare.StreamSliding
+	}
+	sc, err := hare.NewStreamCounter(hare.StreamOptions{Delta: delta, Mode: mode, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -60,50 +67,50 @@ func run(input string, delta int64, every int, watch string) error {
 	snapshot := func() {
 		m := sc.Matrix()
 		if watch != "" {
-			fmt.Printf("edges=%d %s=%d\n", sc.Edges(), label, m.At(label))
-			return
+			fmt.Printf("edges=%d %s=%d", sc.Edges(), label, m.At(label))
+		} else {
+			fmt.Printf("edges=%d pairs=%d stars=%d triangles=%d total=%d",
+				sc.Edges(),
+				m.CategoryTotal(hare.CategoryPair),
+				m.CategoryTotal(hare.CategoryStar),
+				m.CategoryTotal(hare.CategoryTri),
+				m.Total())
 		}
-		fmt.Printf("edges=%d pairs=%d stars=%d triangles=%d total=%d\n",
-			sc.Edges(),
-			m.CategoryTotal(hare.CategoryPair),
-			m.CategoryTotal(hare.CategoryStar),
-			m.CategoryTotal(hare.CategoryTri),
-			m.Total())
+		if sliding {
+			w, err := sc.WindowMatrix()
+			if err == nil {
+				if watch != "" {
+					fmt.Printf(" window:%s=%d", label, w.At(label))
+				} else {
+					fmt.Printf(" window=%d", w.Total())
+				}
+			}
+		}
+		fmt.Println()
 	}
 
-	scan := bufio.NewScanner(r)
-	scan.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
-	for scan.Scan() {
-		lineNo++
-		line := strings.TrimSpace(scan.Text())
-		if line == "" || line[0] == '#' || line[0] == '%' {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 3 {
-			return fmt.Errorf("line %d: want 'u v t'", lineNo)
-		}
-		u, err := strconv.ParseInt(fields[0], 10, 32)
-		if err != nil {
-			return fmt.Errorf("line %d: bad source: %v", lineNo, err)
-		}
-		v, err := strconv.ParseInt(fields[1], 10, 32)
-		if err != nil {
-			return fmt.Errorf("line %d: bad target: %v", lineNo, err)
-		}
-		t, err := strconv.ParseInt(fields[2], 10, 64)
-		if err != nil {
-			return fmt.Errorf("line %d: bad timestamp: %v", lineNo, err)
-		}
-		if err := sc.Add(hare.NodeID(u), hare.NodeID(v), t); err != nil {
-			return fmt.Errorf("line %d: %v", lineNo, err)
-		}
-		if every > 0 && sc.Edges()%every == 0 {
-			snapshot()
-		}
+	// Snapshots fire on batch boundaries, so a snapshot interval finer than
+	// the batch size would silently coarsen to it: shrink the batch to keep
+	// the -every contract, and say so when that trades away parallel ingest.
+	if every > 0 && (batch <= 0 || batch > every) {
+		batch = min(every, hare.StreamFeedBatch)
 	}
-	if err := scan.Err(); err != nil {
+	if batch > 0 && batch < hare.StreamMinParallelBatch && workers != 1 {
+		fmt.Fprintf(os.Stderr,
+			"harestream: note: batches of %d edges (< %d) ingest sequentially; raise -every/-batch for parallel throughput\n",
+			batch, hare.StreamMinParallelBatch)
+	}
+	lastSnap := 0
+	_, err = sc.Feed(r, hare.StreamFeedOptions{
+		BatchSize: batch,
+		OnBatch: func(c *hare.StreamCounter, _ int) {
+			if every > 0 && c.Edges()-lastSnap >= every {
+				lastSnap = c.Edges()
+				snapshot()
+			}
+		},
+	})
+	if err != nil {
 		return err
 	}
 	snapshot()

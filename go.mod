@@ -1,0 +1,3 @@
+module hare
+
+go 1.24

@@ -27,6 +27,19 @@ func (c *PairCounter) Add(o *PairCounter) {
 	}
 }
 
+// Sub removes another counter from c. Every cell of o must be <= the
+// matching cell of c (o is a sub-multiset of the instances in c, e.g. the
+// expired instances of a sliding window); violating that is a programming
+// error and panics rather than silently wrapping around.
+func (c *PairCounter) Sub(o *PairCounter) {
+	for i := range c {
+		if o[i] > c[i] {
+			panic(fmt.Sprintf("motif: pair cell %d underflow (%d - %d)", i, c[i], o[i]))
+		}
+		c[i] -= o[i]
+	}
+}
+
 // Total returns the sum over all cells (twice the number of pair instances,
 // since each instance is recorded from both endpoints).
 func (c *PairCounter) Total() uint64 {
@@ -60,6 +73,16 @@ func (c *StarCounter) At(t StarType, d1, d2, d3 Dir) uint64 {
 func (c *StarCounter) Add(o *StarCounter) {
 	for i := range c {
 		c[i] += o[i]
+	}
+}
+
+// Sub removes another counter from c; see PairCounter.Sub for the contract.
+func (c *StarCounter) Sub(o *StarCounter) {
+	for i := range c {
+		if o[i] > c[i] {
+			panic(fmt.Sprintf("motif: star cell %d underflow (%d - %d)", i, c[i], o[i]))
+		}
+		c[i] -= o[i]
 	}
 }
 
@@ -99,6 +122,16 @@ func (c *TriCounter) Add(o *TriCounter) {
 	}
 }
 
+// Sub removes another counter from c; see PairCounter.Sub for the contract.
+func (c *TriCounter) Sub(o *TriCounter) {
+	for i := range c {
+		if o[i] > c[i] {
+			panic(fmt.Sprintf("motif: tri cell %d underflow (%d - %d)", i, c[i], o[i]))
+		}
+		c[i] -= o[i]
+	}
+}
+
 // Total returns the sum over all cells.
 func (c *TriCounter) Total() uint64 {
 	var s uint64
@@ -130,6 +163,17 @@ func (c *Counts) Add(o *Counts) {
 	c.Pair.Add(&o.Pair)
 	c.Star.Add(&o.Star)
 	c.Tri.Add(&o.Tri)
+}
+
+// Sub removes another Counts with the same TriMultiplicity (the inverse of
+// Add, with Add's mixing rule and the per-counter underflow contract).
+func (c *Counts) Sub(o *Counts) {
+	if c.triMult() != o.triMult() {
+		panic(fmt.Sprintf("motif: mixing TriMultiplicity %d and %d", c.triMult(), o.triMult()))
+	}
+	c.Pair.Sub(&o.Pair)
+	c.Star.Sub(&o.Star)
+	c.Tri.Sub(&o.Tri)
 }
 
 func (c *Counts) triMult() int {

@@ -170,6 +170,42 @@ func TestCountersAddTotal(t *testing.T) {
 	}
 }
 
+func TestCountersSub(t *testing.T) {
+	var a, b Counts
+	a.Star[3] = 5
+	b.Star[3] = 2
+	a.Pair[1] = 4
+	b.Pair[1] = 4
+	a.Tri[9] = 3
+	b.Tri[9] = 1
+	a.Sub(&b)
+	if a.Star[3] != 3 || a.Pair[1] != 0 || a.Tri[9] != 2 {
+		t.Fatalf("Sub failed: %+v", a)
+	}
+}
+
+func TestCountersSubUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on cell underflow")
+		}
+	}()
+	var a, b Counts
+	b.Star[0] = 1
+	a.Sub(&b)
+}
+
+func TestCountsSubMismatchedMultiplicityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on mixed TriMultiplicity")
+		}
+	}()
+	a := Counts{TriMultiplicity: 1}
+	b := Counts{TriMultiplicity: 3}
+	a.Sub(&b)
+}
+
 func TestCountsAddMismatchedMultiplicityPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

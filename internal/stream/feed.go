@@ -1,0 +1,96 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"hare/internal/temporal"
+)
+
+// FeedOptions configures Counter.Feed.
+type FeedOptions struct {
+	// BatchSize is the number of parsed edges handed to each AddBatch call
+	// (default 4096).
+	BatchSize int
+	// OnBatch, when non-nil, runs after every ingested batch — the hook for
+	// periodic snapshots. n is the number of edges in that batch.
+	OnBatch func(c *Counter, n int)
+}
+
+// DefaultFeedBatch is the Feed batch size when FeedOptions.BatchSize is 0.
+// Large enough that AddBatch's fan-out amortises, small enough that
+// snapshots stay responsive on slow streams.
+const DefaultFeedBatch = 4096
+
+// Feed ingests a whitespace-separated "u v t" edge list from r in batches
+// through AddBatch — the reader-driven counterpart of Add for log pipes and
+// files. Blank lines and lines starting with '#' or '%' are skipped.
+// Per-line failures (id range, time ordering) are validated before
+// batching, so those errors name the exact input line rather than a
+// batch-relative index. It returns the number of edges ingested
+// (self-loops included, as they are ingested and counted too).
+func (c *Counter) Feed(r io.Reader, opts FeedOptions) (int64, error) {
+	batchSize := opts.BatchSize
+	if batchSize <= 0 {
+		batchSize = DefaultFeedBatch
+	}
+	var total int64
+	batch := make([]temporal.Edge, 0, batchSize)
+	batchLine := 0 // input line of the current batch's first edge
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := c.AddBatch(batch); err != nil {
+			// Reachable for stream-level failures the per-line checks can't
+			// see (e.g. edge-id-space exhaustion after 2^31-1 edges): the
+			// line range localises them as tightly as a batch allows.
+			return fmt.Errorf("stream: lines %d-%d: %v", batchLine, batchLine+len(batch)-1, err)
+		}
+		total += int64(len(batch))
+		if opts.OnBatch != nil {
+			opts.OnBatch(c, len(batch))
+		}
+		batch = batch[:0]
+		return nil
+	}
+
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	started, lastT := c.started, c.lastT
+	for scan.Scan() {
+		lineNo++
+		el, skip, err := temporal.ParseEdgeLine(scan.Text(), false)
+		if err != nil {
+			return total, fmt.Errorf("stream: line %d: %v", lineNo, err)
+		}
+		if skip {
+			continue
+		}
+		if el.U < 0 || el.V < 0 || el.U > math.MaxInt32 || el.V > math.MaxInt32 {
+			return total, fmt.Errorf("stream: line %d: node id out of range (%d,%d)", lineNo, el.U, el.V)
+		}
+		if started && el.T < lastT {
+			return total, fmt.Errorf("stream: line %d: out-of-order edge at t=%d (last %d)", lineNo, el.T, lastT)
+		}
+		started, lastT = true, el.T
+		if len(batch) == 0 {
+			batchLine = lineNo
+		}
+		batch = append(batch, temporal.Edge{
+			From: temporal.NodeID(el.U), To: temporal.NodeID(el.V), Time: el.T,
+		})
+		if len(batch) >= batchSize {
+			if err := flush(); err != nil {
+				return total, err
+			}
+		}
+	}
+	if err := scan.Err(); err != nil {
+		return total, err
+	}
+	return total, flush()
+}

@@ -1,0 +1,245 @@
+package stream
+
+import (
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+// scratch holds one worker's reusable hash maps for the per-edge scans. A
+// scratch must not be shared between goroutines; the batched ingest path
+// gives every worker its own.
+//
+// Memory policy: clear() empties a map but Go never releases its buckets, so
+// one pathological high-degree burst (a node with a huge δ-window) would pin
+// that worst-case footprint forever. The scratch therefore tracks a
+// high-water mark of entries populated per scan and reallocates the maps
+// once the mark exceeds shedFloor while the current scan used less than
+// 1/shedRatio of it — steady-state traffic pays nothing, and a burst's
+// buckets are shed as soon as the stream calms down.
+type scratch struct {
+	runIn   map[temporal.NodeID]uint64
+	runOut  map[temporal.NodeID]uint64
+	nbrJoin map[temporal.NodeID][]temporal.HalfEdge
+	peak    int // max entries populated in one scan since the last shed
+}
+
+const (
+	shedFloor = 4096
+	shedRatio = 8
+)
+
+func newScratch() *scratch {
+	return &scratch{
+		runIn:   make(map[temporal.NodeID]uint64),
+		runOut:  make(map[temporal.NodeID]uint64),
+		nbrJoin: make(map[temporal.NodeID][]temporal.HalfEdge),
+	}
+}
+
+// shed applies the memory policy after one edge's scans; pop is the number
+// of map entries those scans populated.
+func (s *scratch) shed(pop int) {
+	if pop > s.peak {
+		s.peak = pop
+	}
+	if s.peak >= shedFloor && pop*shedRatio <= s.peak {
+		s.runIn = make(map[temporal.NodeID]uint64, pop)
+		s.runOut = make(map[temporal.NodeID]uint64, pop)
+		s.nbrJoin = make(map[temporal.NodeID][]temporal.HalfEdge, pop)
+		s.peak = pop
+	}
+}
+
+// countArrival tallies every motif instance completed by the edge
+// (id, u->v, t): the arriving edge is the chronologically last edge of each
+// instance. uw and vw are the endpoints' δ-windows as of the arrival —
+// edges with ID < id and Time >= t-δ. Returns the scratch population for
+// shed accounting.
+func (s *scratch) countArrival(counts *motif.Counts, uw, vw []temporal.HalfEdge, u, v temporal.NodeID) int {
+	pop := s.scanStarPair(counts, uw, v, true)
+	if p := s.scanStarPair(counts, vw, u, false); p > pop {
+		pop = p
+	}
+	if p := s.joinTriangles(&counts.Tri, true, uw, vw); p > pop {
+		pop = p
+	}
+	return pop
+}
+
+// countRetire tallies every still-live motif instance whose chronologically
+// first edge is the expiring edge (id, u->v, t): its two later edges lie in
+// the endpoints' forward windows — edges with ID > id and Time <= t+δ.
+// Every such instance was counted at arrival time (all three edges span
+// <= δ), so subtracting these tallies retires exactly the instances that
+// drop out of the sliding window. Returns the scratch population.
+func (s *scratch) countRetire(counts *motif.Counts, uw, vw []temporal.HalfEdge, u, v temporal.NodeID) int {
+	pop := s.retireStarPair(counts, uw, v, true)
+	if p := s.retireStarPair(counts, vw, u, false); p > pop {
+		pop = p
+	}
+	if p := s.joinTriangles(&counts.Tri, false, uw, vw); p > pop {
+		pop = p
+	}
+	return pop
+}
+
+// scanStarPair counts the star/pair triples whose last edge is the arriving
+// edge, centered at the window's owner. other is the arriving edge's far
+// endpoint and out its direction relative to the owner.
+//
+// One forward pass over the window with running totals: at each candidate
+// middle edge e2, the number of valid first edges of each class is known
+// from the running counters, split by whether the first edge goes to the
+// same neighbor as e2 / as the arriving edge.
+func (s *scratch) scanStarPair(counts *motif.Counts, win []temporal.HalfEdge, other temporal.NodeID, out bool) int {
+	if len(win) < 2 {
+		return 0
+	}
+	d3 := motif.In
+	if out {
+		d3 = motif.Out
+	}
+	clear(s.runIn)
+	clear(s.runOut)
+	var nIn, nOut uint64
+	for _, e2 := range win {
+		d2 := motif.Dir(e2.Dir())
+		if e2.Other == other {
+			// e2 pairs with the arriving edge (both to `other`): a first
+			// edge to `other` completes a 2-node pair; elsewhere it is the
+			// isolated first edge of a Star-I.
+			cin, cout := s.runIn[other], s.runOut[other]
+			counts.Pair[motif.PairIndex(motif.In, d2, d3)] += cin
+			counts.Pair[motif.PairIndex(motif.Out, d2, d3)] += cout
+			counts.Star[motif.StarIndex(motif.StarI, motif.In, d2, d3)] += nIn - cin
+			counts.Star[motif.StarIndex(motif.StarI, motif.Out, d2, d3)] += nOut - cout
+		} else {
+			// e2 goes to some n != other: a first edge to n pairs with e2
+			// (Star-III); a first edge to `other` pairs with the arriving
+			// edge (Star-II).
+			counts.Star[motif.StarIndex(motif.StarIII, motif.In, d2, d3)] += s.runIn[e2.Other]
+			counts.Star[motif.StarIndex(motif.StarIII, motif.Out, d2, d3)] += s.runOut[e2.Other]
+			counts.Star[motif.StarIndex(motif.StarII, motif.In, d2, d3)] += s.runIn[other]
+			counts.Star[motif.StarIndex(motif.StarII, motif.Out, d2, d3)] += s.runOut[other]
+		}
+		if e2.Out {
+			s.runOut[e2.Other]++
+			nOut++
+		} else {
+			s.runIn[e2.Other]++
+			nIn++
+		}
+	}
+	return len(s.runIn) + len(s.runOut)
+}
+
+// retireStarPair is scanStarPair's time mirror: the fixed edge is the
+// chronologically *first* edge of each triple (direction d1 relative to the
+// owner), and win holds the owner's later in-window edges. One forward pass
+// treating each window edge as the last edge e3, with running totals over
+// the middle-edge candidates seen so far — the same loop shape as batch
+// FAST's Algorithm 1 inner loop with the retiring edge as e1.
+func (s *scratch) retireStarPair(counts *motif.Counts, win []temporal.HalfEdge, other temporal.NodeID, out bool) int {
+	if len(win) < 2 {
+		return 0
+	}
+	d1 := motif.In
+	if out {
+		d1 = motif.Out
+	}
+	clear(s.runIn)
+	clear(s.runOut)
+	var nIn, nOut uint64
+	for _, e3 := range win {
+		d3 := motif.Dir(e3.Dir())
+		if e3.Other == other {
+			// e3 pairs with the retiring edge (both to `other`): a middle
+			// edge to `other` makes the triple a 2-node pair; elsewhere the
+			// middle edge is isolated (Star-II).
+			cin, cout := s.runIn[other], s.runOut[other]
+			counts.Pair[motif.PairIndex(d1, motif.In, d3)] += cin
+			counts.Pair[motif.PairIndex(d1, motif.Out, d3)] += cout
+			counts.Star[motif.StarIndex(motif.StarII, d1, motif.In, d3)] += nIn - cin
+			counts.Star[motif.StarIndex(motif.StarII, d1, motif.Out, d3)] += nOut - cout
+		} else {
+			// e3 goes to some n != other: a middle edge to n pairs with e3
+			// (Star-I); a middle edge to `other` pairs with the retiring
+			// edge (Star-III).
+			counts.Star[motif.StarIndex(motif.StarI, d1, motif.In, d3)] += s.runIn[e3.Other]
+			counts.Star[motif.StarIndex(motif.StarI, d1, motif.Out, d3)] += s.runOut[e3.Other]
+			counts.Star[motif.StarIndex(motif.StarIII, d1, motif.In, d3)] += s.runIn[other]
+			counts.Star[motif.StarIndex(motif.StarIII, d1, motif.Out, d3)] += s.runOut[other]
+		}
+		if e3.Out {
+			s.runOut[e3.Other]++
+			nOut++
+		} else {
+			s.runIn[e3.Other]++
+			nIn++
+		}
+	}
+	return len(s.runIn) + len(s.runOut)
+}
+
+// joinTriangles enumerates the triangles in which the fixed edge u->v is the
+// chronologically extreme edge of the instance: its two companions are one
+// window edge u<->w joined with one window edge v<->w. With arrival == true
+// the fixed edge is the newest (last) edge and the windows look backward;
+// otherwise it is a retiring (first) edge and the windows look forward.
+//
+// Both cases record the instance in the cell its *arrival* classification
+// uses — Triangle-III from the perspective of the vertex not on the last
+// edge — so the sliding window's retired tallies subtract cell-exactly from
+// the cumulative ones: di/dj are the center-incident edges' directions in
+// chronological order, dk the last edge's direction relative to the first
+// edge's far endpoint.
+func (s *scratch) joinTriangles(tri *motif.TriCounter, arrival bool, uWin, vWin []temporal.HalfEdge) int {
+	if len(uWin) == 0 || len(vWin) == 0 {
+		return 0
+	}
+	// Hash the smaller window by shared neighbor, scan the larger.
+	swapped := false
+	if len(uWin) > len(vWin) {
+		uWin, vWin = vWin, uWin
+		swapped = true
+	}
+	clear(s.nbrJoin)
+	for _, a := range uWin {
+		s.nbrJoin[a.Other] = append(s.nbrJoin[a.Other], a)
+	}
+	for _, b := range vWin {
+		for _, a := range s.nbrJoin[b.Other] {
+			aw, bw := a, b // aw is u<->w, bw is v<->w (pre-swap orientation)
+			if swapped {
+				aw, bw = b, a
+			}
+			var di, dj, dk motif.Dir
+			if arrival {
+				// The fixed edge is last; the center is the shared vertex w,
+				// so the window edges' directions flip to w's perspective.
+				diW := motif.Dir(aw.Dir()).Flip()
+				djW := motif.Dir(bw.Dir()).Flip()
+				if aw.ID < bw.ID {
+					di, dj = diW, djW
+					dk = motif.Out // ei's far endpoint is u; u->v leaves u
+				} else {
+					di, dj = djW, diW
+					dk = motif.In // ei's far endpoint is v; u->v enters v
+				}
+			} else {
+				// The fixed edge is first (ei); the last edge is the later
+				// of (aw,bw) and the center its non-endpoint, u or v — so
+				// every direction is already stored center-relative.
+				if aw.ID > bw.ID {
+					// aw (u<->w) is last: center v, ej = bw, dk = aw rel. u.
+					di, dj, dk = motif.In, motif.Dir(bw.Dir()), motif.Dir(aw.Dir())
+				} else {
+					// bw (v<->w) is last: center u, ej = aw, dk = bw rel. v.
+					di, dj, dk = motif.Out, motif.Dir(aw.Dir()), motif.Dir(bw.Dir())
+				}
+			}
+			tri[motif.TriIndex(motif.TriIII, di, dj, dk)]++
+		}
+	}
+	return len(s.nbrJoin)
+}

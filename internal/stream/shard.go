@@ -1,0 +1,122 @@
+package stream
+
+import (
+	"sort"
+
+	"hare/internal/temporal"
+)
+
+// nodeWindow is one node's edge history, sorted by EdgeID (equivalently by
+// time, since ingestion is chronological). Expired edges are trimmed lazily;
+// the backing slice is compacted once the live region falls below half the
+// capacity, keeping amortised O(1) appends and O(d^δ) memory.
+//
+// All counting scans slice the window by explicit (EdgeID, Timestamp)
+// predicates rather than by the head pointer, so trimming is pure memory
+// reclamation and can run at any point where no scan is in flight.
+type nodeWindow struct {
+	edges []temporal.HalfEdge
+	head  int // first live (non-expired) index
+}
+
+func (w *nodeWindow) trim(cutoff temporal.Timestamp) {
+	for w.head < len(w.edges) && w.edges[w.head].Time < cutoff {
+		w.head++
+	}
+	if w.head > len(w.edges)/2 && w.head > 32 {
+		n := copy(w.edges, w.edges[w.head:])
+		w.edges = w.edges[:n]
+		w.head = 0
+	}
+}
+
+func (w *nodeWindow) push(h temporal.HalfEdge) { w.edges = append(w.edges, h) }
+
+// before returns the window edges with Time >= minTime and ID < id: the
+// δ-window an arriving edge with that (id, time) sees. The result aliases
+// the backing array and is invalidated by the next push or trim.
+func (w *nodeWindow) before(minTime temporal.Timestamp, id temporal.EdgeID) []temporal.HalfEdge {
+	if w == nil {
+		return nil
+	}
+	live := w.edges[w.head:]
+	lo := sort.Search(len(live), func(i int) bool { return live[i].Time >= minTime })
+	hi := sort.Search(len(live), func(i int) bool { return live[i].ID >= id })
+	if lo >= hi {
+		return nil
+	}
+	return live[lo:hi]
+}
+
+// after returns the window edges with ID > id and Time <= maxTime: the
+// in-window successors a retiring edge with that (id, time+δ) had. Same
+// aliasing caveat as before.
+func (w *nodeWindow) after(id temporal.EdgeID, maxTime temporal.Timestamp) []temporal.HalfEdge {
+	if w == nil {
+		return nil
+	}
+	live := w.edges[w.head:]
+	lo := sort.Search(len(live), func(i int) bool { return live[i].ID > id })
+	hi := sort.Search(len(live), func(i int) bool { return live[i].Time > maxTime })
+	if lo >= hi {
+		return nil
+	}
+	return live[lo:hi]
+}
+
+// windowShard owns the δ-windows of the nodes hashing to it. Shards
+// partition per-node state so that the batched ingest path can append and
+// trim concurrently, one goroutine per shard group, with no locking.
+type windowShard struct {
+	windows map[temporal.NodeID]*nodeWindow
+}
+
+func (s *windowShard) window(u temporal.NodeID) *nodeWindow {
+	w := s.windows[u]
+	if w == nil {
+		w = &nodeWindow{}
+		s.windows[u] = w
+	}
+	return w
+}
+
+// shardOf hashes a node to its shard with Fibonacci multiplicative hashing;
+// shards is always a power of two.
+func shardOf(u temporal.NodeID, shardBits uint) uint32 {
+	return (uint32(u) * 0x9E3779B9) >> (32 - shardBits)
+}
+
+// edgeRec is one live edge queued for expiry in sliding-window mode.
+type edgeRec struct {
+	id   temporal.EdgeID
+	u, v temporal.NodeID
+	t    temporal.Timestamp
+}
+
+// edgeFIFO is the sliding-window expiry queue, in EdgeID (= time) order.
+type edgeFIFO struct {
+	recs []edgeRec
+	head int
+}
+
+func (f *edgeFIFO) push(r edgeRec) { f.recs = append(f.recs, r) }
+
+// popExpired removes and returns every queued edge with Time < cutoff.
+// The result aliases the queue and is invalidated by the next push or
+// compact call, so retire the popped edges before touching the queue again.
+func (f *edgeFIFO) popExpired(cutoff temporal.Timestamp) []edgeRec {
+	lo := f.head
+	for f.head < len(f.recs) && f.recs[f.head].t < cutoff {
+		f.head++
+	}
+	return f.recs[lo:f.head]
+}
+
+// compact reclaims the popped prefix once no popExpired result is live.
+func (f *edgeFIFO) compact() {
+	if f.head > len(f.recs)/2 && f.head > 1024 {
+		n := copy(f.recs, f.recs[f.head:])
+		f.recs = f.recs[:n]
+		f.head = 0
+	}
+}

@@ -2,7 +2,8 @@
 // streams — the "frequently updated dynamic systems" the paper's
 // introduction motivates. Edges arrive in non-decreasing time order; after
 // every arrival the counter holds the exact cumulative counts of all motif
-// instances completed so far.
+// instances completed so far and, in sliding mode, the exact counts of the
+// instances lying entirely inside the last δ window.
 //
 // The algorithm inverts FAST's loop structure: instead of fixing the first
 // edge and scanning forward (Algorithm 1), the newest edge is the *last*
@@ -11,73 +12,124 @@
 // shared-neighbor join between the two windows enumerates the completed
 // triangles. Per-edge cost is O(d^δ) for stars/pairs plus output-sensitive
 // work for triangles — the same asymptotics as batch FAST, paid
-// incrementally.
+// incrementally. Sliding mode additionally runs the time-mirrored scans
+// when an edge expires: the expiring edge is the *first* edge of every
+// instance leaving the window, so the same kernels retire them exactly.
+//
+// Per-node window state is sharded by node hash, and AddBatch fans a batch
+// of edges out over worker goroutines with private per-worker counters
+// merged at the end (the engine package's reduction discipline), so ingest
+// throughput and state maintenance both scale across cores while results
+// stay bit-identical to sequential Add and to batch hare.Count.
 package stream
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
 
 	"hare/internal/motif"
 	"hare/internal/temporal"
 )
 
-// nodeWindow is one node's in-window edge history. Expired edges are trimmed
-// lazily; the backing slice is compacted once the live region falls below
-// half the capacity, keeping amortised O(1) appends and O(d^δ) memory.
-type nodeWindow struct {
-	edges []temporal.HalfEdge
-	head  int // first live (non-expired) index
+// Mode selects what Counter.Matrix-family accessors can report.
+type Mode int
+
+const (
+	// Cumulative counts every instance completed since the stream began.
+	// This is the cheapest mode: expired edges are forgotten, never
+	// re-examined.
+	Cumulative Mode = iota
+	// Sliding additionally retires instances as their first edge leaves the
+	// δ window, so WindowMatrix reports exactly the instances whose edges
+	// all lie in [t_latest-δ, t_latest]. Roughly doubles per-edge work.
+	Sliding
+)
+
+// Options configures a Counter. The zero value of everything but Delta is
+// usable: cumulative mode, GOMAXPROCS batch workers, automatic shard count.
+type Options struct {
+	// Delta is the motif window δ (>= 0).
+	Delta temporal.Timestamp
+	// Mode selects cumulative-only or sliding-window counting.
+	Mode Mode
+	// Workers is the goroutine count for AddBatch fan-out. <= 0 selects
+	// runtime.GOMAXPROCS(0). Sequential Add ignores it.
+	Workers int
+	// Shards is the number of node-window shards (rounded up to a power of
+	// two). <= 0 derives it from Workers. More shards than workers keeps
+	// the per-shard append loops balanced under skewed node hashes.
+	Shards int
 }
-
-func (w *nodeWindow) live() []temporal.HalfEdge { return w.edges[w.head:] }
-
-func (w *nodeWindow) trim(cutoff temporal.Timestamp) {
-	for w.head < len(w.edges) && w.edges[w.head].Time < cutoff {
-		w.head++
-	}
-	if w.head > len(w.edges)/2 && w.head > 32 {
-		n := copy(w.edges, w.edges[w.head:])
-		w.edges = w.edges[:n]
-		w.head = 0
-	}
-}
-
-func (w *nodeWindow) push(h temporal.HalfEdge) { w.edges = append(w.edges, h) }
 
 // Counter is an exact online motif counter. The zero value is not usable;
-// call New.
+// call New or NewCounter.
 type Counter struct {
-	delta   temporal.Timestamp
-	counts  motif.Counts
-	windows map[temporal.NodeID]*nodeWindow
+	opts      Options
+	shardBits uint
+	shards    []windowShard
+
+	counts  motif.Counts // completed instances (cumulative)
+	retired motif.Counts // expired instances (sliding mode only)
+	fifo    edgeFIFO     // live edges pending expiry (sliding mode only)
+
 	nextID  temporal.EdgeID
 	lastT   temporal.Timestamp
 	started bool
 	loops   uint64
 
-	// reusable scratch for the per-add scans
-	runIn   map[temporal.NodeID]uint64
-	runOut  map[temporal.NodeID]uint64
-	nbrJoin map[temporal.NodeID][]temporal.HalfEdge
+	kern          *scratch   // sequential-path scratch
+	workerScratch []*scratch // batch workers' scratches, grown on demand
 }
 
-// New returns an empty Counter with the given window δ (must be >= 0).
+// New returns an empty cumulative Counter with the given window δ.
 func New(delta temporal.Timestamp) (*Counter, error) {
-	if delta < 0 {
-		return nil, fmt.Errorf("stream: negative δ (%d)", delta)
+	return NewCounter(Options{Delta: delta})
+}
+
+// NewSliding returns an empty sliding-window Counter with window δ.
+func NewSliding(delta temporal.Timestamp) (*Counter, error) {
+	return NewCounter(Options{Delta: delta, Mode: Sliding})
+}
+
+// NewCounter returns an empty Counter with the given options.
+func NewCounter(opts Options) (*Counter, error) {
+	if opts.Delta < 0 {
+		return nil, fmt.Errorf("stream: negative δ (%d)", opts.Delta)
 	}
-	return &Counter{
-		delta:   delta,
-		counts:  motif.Counts{TriMultiplicity: 1},
-		windows: make(map[temporal.NodeID]*nodeWindow),
-		runIn:   make(map[temporal.NodeID]uint64),
-		runOut:  make(map[temporal.NodeID]uint64),
-		nbrJoin: make(map[temporal.NodeID][]temporal.HalfEdge),
-	}, nil
+	if opts.Mode != Cumulative && opts.Mode != Sliding {
+		return nil, fmt.Errorf("stream: unknown mode (%d)", opts.Mode)
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 4 * opts.Workers
+	}
+	bitsN := uint(bits.Len(uint(opts.Shards - 1)))
+	if bitsN == 0 {
+		bitsN = 1 // at least two shards so shardOf's shift stays in range
+	}
+	c := &Counter{
+		opts:      opts,
+		shardBits: bitsN,
+		shards:    make([]windowShard, 1<<bitsN),
+		counts:    motif.Counts{TriMultiplicity: 1},
+		retired:   motif.Counts{TriMultiplicity: 1},
+		kern:      newScratch(),
+	}
+	for i := range c.shards {
+		c.shards[i].windows = make(map[temporal.NodeID]*nodeWindow)
+	}
+	return c, nil
 }
 
 // Delta returns the counter's window.
-func (c *Counter) Delta() temporal.Timestamp { return c.delta }
+func (c *Counter) Delta() temporal.Timestamp { return c.opts.Delta }
+
+// Mode returns the counter's counting mode.
+func (c *Counter) Mode() Mode { return c.opts.Mode }
 
 // Edges returns the number of edges ingested (self-loops excluded).
 func (c *Counter) Edges() int { return int(c.nextID) }
@@ -86,8 +138,31 @@ func (c *Counter) Edges() int { return int(c.nextID) }
 func (c *Counter) SelfLoopsDropped() uint64 { return c.loops }
 
 // Matrix returns the cumulative exact per-motif counts over everything
-// ingested so far.
+// ingested so far, in every mode.
 func (c *Counter) Matrix() motif.Matrix { return c.counts.ToMatrix() }
+
+// WindowMatrix returns the exact per-motif counts of the instances whose
+// edges all lie in the current window [t-δ, t], where t is the largest
+// timestamp seen (via Add, AddBatch, or Advance). Only sliding-mode
+// counters track the retirements this needs.
+func (c *Counter) WindowMatrix() (motif.Matrix, error) {
+	if c.opts.Mode != Sliding {
+		return motif.Matrix{}, fmt.Errorf("stream: WindowMatrix requires Sliding mode")
+	}
+	live := c.counts
+	live.Sub(&c.retired)
+	return live.ToMatrix(), nil
+}
+
+// window returns node u's window, creating it if needed.
+func (c *Counter) window(u temporal.NodeID) *nodeWindow {
+	return c.shards[shardOf(u, c.shardBits)].window(u)
+}
+
+// peek returns node u's window or nil, without creating it.
+func (c *Counter) peek(u temporal.NodeID) *nodeWindow {
+	return c.shards[shardOf(u, c.shardBits)].windows[u]
+}
 
 // Add ingests the directed edge u -> v at time t. Times must be
 // non-decreasing; equal timestamps are ordered by arrival, matching the
@@ -99,130 +174,69 @@ func (c *Counter) Add(u, v temporal.NodeID, t temporal.Timestamp) error {
 	if c.started && t < c.lastT {
 		return fmt.Errorf("stream: out-of-order edge at t=%d (last %d)", t, c.lastT)
 	}
+	if c.nextID >= math.MaxInt32 {
+		// EdgeIDs are int32 and every window scan relies on their monotonic
+		// order; wrapping would corrupt counts silently, so refuse instead.
+		return fmt.Errorf("stream: edge id space exhausted after %d edges", c.nextID)
+	}
+	c.addValidated(u, v, t)
+	return nil
+}
+
+func (c *Counter) addValidated(u, v temporal.NodeID, t temporal.Timestamp) {
 	c.started, c.lastT = true, t
+	cutoff := t - c.opts.Delta
+	if c.opts.Mode == Sliding {
+		c.retireExpired(cutoff)
+	}
 	if u == v {
 		c.loops++
-		return nil
+		return
 	}
 	id := c.nextID
 	c.nextID++
 
 	wu, wv := c.window(u), c.window(v)
-	cutoff := t - c.delta
-	wu.trim(cutoff)
-	wv.trim(cutoff)
-
-	// Stars and pairs completed by this edge, from each endpoint's view.
-	c.scanStarPair(wu.live(), v, true)
-	c.scanStarPair(wv.live(), u, false)
-	// Triangles completed by this edge.
-	c.joinTriangles(wu.live(), wv.live())
+	uw := wu.before(cutoff, id)
+	vw := wv.before(cutoff, id)
+	pop := c.kern.countArrival(&c.counts, uw, vw, u, v)
+	c.kern.shed(pop)
 
 	wu.push(temporal.HalfEdge{ID: id, Time: t, Other: v, Out: true})
 	wv.push(temporal.HalfEdge{ID: id, Time: t, Other: u, Out: false})
+	wu.trim(cutoff)
+	wv.trim(cutoff)
+	if c.opts.Mode == Sliding {
+		c.fifo.push(edgeRec{id: id, u: u, v: v, t: t})
+	}
+}
+
+// retireExpired pops every live edge older than cutoff and subtracts the
+// instances it leads. Pops happen in EdgeID order, so each expiring edge is
+// the chronologically first edge of every instance it still participates
+// in; its companions are exactly the in-window edges that follow it
+// (ID greater, time within δ) — see scratch.countRetire.
+func (c *Counter) retireExpired(cutoff temporal.Timestamp) {
+	for _, r := range c.fifo.popExpired(cutoff) {
+		uw := c.peek(r.u).after(r.id, r.t+c.opts.Delta)
+		vw := c.peek(r.v).after(r.id, r.t+c.opts.Delta)
+		pop := c.kern.countRetire(&c.retired, uw, vw, r.u, r.v)
+		c.kern.shed(pop)
+	}
+	c.fifo.compact()
+}
+
+// Advance moves the sliding window's right edge to time t without ingesting
+// an edge, expiring everything older than t-δ — e.g. to drain a quiet
+// stream for a dashboard. Subsequent edges must not be older than t.
+// In cumulative mode it only enforces the time watermark.
+func (c *Counter) Advance(t temporal.Timestamp) error {
+	if c.started && t < c.lastT {
+		return fmt.Errorf("stream: Advance to t=%d behind watermark %d", t, c.lastT)
+	}
+	c.started, c.lastT = true, t
+	if c.opts.Mode == Sliding {
+		c.retireExpired(t - c.opts.Delta)
+	}
 	return nil
-}
-
-func (c *Counter) window(u temporal.NodeID) *nodeWindow {
-	w := c.windows[u]
-	if w == nil {
-		w = &nodeWindow{}
-		c.windows[u] = w
-	}
-	return w
-}
-
-// scanStarPair counts the star/pair triples whose last edge is the arriving
-// edge, centered at the window's owner. other is the arriving edge's far
-// endpoint and out its direction relative to the owner.
-//
-// One forward pass over the window with running totals: at each candidate
-// middle edge e2, the number of valid first edges of each class is known
-// from the running counters, split by whether the first edge goes to the
-// same neighbor as e2 / as the arriving edge.
-func (c *Counter) scanStarPair(win []temporal.HalfEdge, other temporal.NodeID, out bool) {
-	if len(win) < 2 {
-		return
-	}
-	d3 := motif.In
-	if out {
-		d3 = motif.Out
-	}
-	clear(c.runIn)
-	clear(c.runOut)
-	var nIn, nOut uint64
-	for _, e2 := range win {
-		d2 := motif.Dir(e2.Dir())
-		if e2.Other == other {
-			// e2 pairs with the arriving edge (both to `other`): first edge
-			// to `other` completes a 2-node pair; elsewhere completes a
-			// Star-II (first and third edges to the same neighbor...
-			// no: first edge isolated is Star-I).
-			cin, cout := c.runIn[other], c.runOut[other]
-			c.counts.Pair[motif.PairIndex(motif.In, d2, d3)] += cin
-			c.counts.Pair[motif.PairIndex(motif.Out, d2, d3)] += cout
-			c.counts.Star[motif.StarIndex(motif.StarI, motif.In, d2, d3)] += nIn - cin
-			c.counts.Star[motif.StarIndex(motif.StarI, motif.Out, d2, d3)] += nOut - cout
-		} else {
-			// e2 goes to some n != other: a first edge to n completes a
-			// Star-III pattern paired as (e1,e2); a first edge to `other`
-			// completes Star-II (e1 and e3 paired).
-			c.counts.Star[motif.StarIndex(motif.StarIII, motif.In, d2, d3)] += c.runIn[e2.Other]
-			c.counts.Star[motif.StarIndex(motif.StarIII, motif.Out, d2, d3)] += c.runOut[e2.Other]
-			c.counts.Star[motif.StarIndex(motif.StarII, motif.In, d2, d3)] += c.runIn[other]
-			c.counts.Star[motif.StarIndex(motif.StarII, motif.Out, d2, d3)] += c.runOut[other]
-		}
-		if e2.Out {
-			c.runOut[e2.Other]++
-			nOut++
-		} else {
-			c.runIn[e2.Other]++
-			nIn++
-		}
-	}
-}
-
-// joinTriangles enumerates triangles completed by the arriving edge (u,v):
-// one earlier edge u<->w joined with one earlier edge v<->w. Each completed
-// instance is classified from the shared vertex w's perspective, where the
-// arriving edge is the non-incident, chronologically last edge
-// (Triangle-III).
-func (c *Counter) joinTriangles(uWin, vWin []temporal.HalfEdge) {
-	if len(uWin) == 0 || len(vWin) == 0 {
-		return
-	}
-	// Hash the smaller window by shared neighbor, scan the larger.
-	swapped := false
-	if len(uWin) > len(vWin) {
-		uWin, vWin = vWin, uWin
-		swapped = true
-	}
-	clear(c.nbrJoin)
-	for _, a := range uWin {
-		c.nbrJoin[a.Other] = append(c.nbrJoin[a.Other], a)
-	}
-	for _, b := range vWin {
-		for _, a := range c.nbrJoin[b.Other] {
-			// a is u<->w, b is v<->w (pre-swap orientation): directions
-			// relative to w are the flips of the stored ones.
-			aw, bw := a, b
-			if swapped {
-				aw, bw = b, a
-			}
-			// From w: ei is the earlier of (aw,bw), ej the later; dk is the
-			// arriving edge u->v relative to ei's far endpoint.
-			diW := motif.Dir(aw.Dir()).Flip() // aw relative to w
-			djW := motif.Dir(bw.Dir()).Flip()
-			var dk motif.Dir
-			var di, dj motif.Dir
-			if aw.ID < bw.ID {
-				di, dj = diW, djW
-				dk = motif.Out // ei's far endpoint is u; u->v leaves u
-			} else {
-				di, dj = djW, diW
-				dk = motif.In // ei's far endpoint is v; u->v enters v
-			}
-			c.counts.Tri[motif.TriIndex(motif.TriIII, di, dj, dk)]++
-		}
-	}
 }

@@ -143,8 +143,8 @@ func TestStreamWindowTrim(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	w := c.windows[0]
-	if live := len(w.live()); live > 2 {
+	w := c.peek(0)
+	if live := len(w.edges[w.head:]); live > 2 {
 		t.Fatalf("window kept %d live edges, want <= 2", live)
 	}
 	if len(w.edges) > 64 {

@@ -23,12 +23,46 @@ type LoadOptions struct {
 	MaxEdges int
 }
 
+// EdgeLine is one parsed edge-list line, with raw (possibly sparse or
+// out-of-range) node ids: range policy is the caller's.
+type EdgeLine struct {
+	U, V int64
+	T    Timestamp
+}
+
+// ParseEdgeLine parses one "u v t" edge-list line, the grammar shared by
+// every reader in this repository (batch loading and stream feeding).
+// skip reports blank and '#'/'%' comment lines. comma additionally treats
+// ',' as a field separator. Extra trailing fields are ignored, so 4-column
+// formats such as Bitcoin-OTC's "u,v,rating,t" are NOT auto-detected —
+// pre-process those or use exactly three leading columns.
+func ParseEdgeLine(line string, comma bool) (e EdgeLine, skip bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || line[0] == '#' || line[0] == '%' {
+		return EdgeLine{}, true, nil
+	}
+	if comma {
+		line = strings.ReplaceAll(line, ",", " ")
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return EdgeLine{}, false, fmt.Errorf("want at least 3 fields, got %d", len(fields))
+	}
+	if e.U, err = strconv.ParseInt(fields[0], 10, 64); err != nil {
+		return EdgeLine{}, false, fmt.Errorf("bad source node %q: %v", fields[0], err)
+	}
+	if e.V, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return EdgeLine{}, false, fmt.Errorf("bad target node %q: %v", fields[1], err)
+	}
+	if e.T, err = strconv.ParseInt(fields[2], 10, 64); err != nil {
+		return EdgeLine{}, false, fmt.Errorf("bad timestamp %q: %v", fields[2], err)
+	}
+	return e, false, nil
+}
+
 // ReadEdgeList parses "u v t" lines from r and builds a Graph.
 //
-// Lines starting with '#' or '%' and blank lines are skipped. Fields are
-// separated by whitespace (and commas with opts.Comma). Extra trailing fields
-// are ignored, so 4-column formats such as Bitcoin-OTC's "u,v,rating,t" are
-// NOT auto-detected — pre-process those or use exactly three leading columns.
+// The line grammar is ParseEdgeLine's.
 func ReadEdgeList(r io.Reader, opts LoadOptions) (*Graph, error) {
 	b := NewBuilder(1024)
 	relabel := map[int64]NodeID{}
@@ -38,29 +72,14 @@ func ReadEdgeList(r io.Reader, opts LoadOptions) (*Graph, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || line[0] == '#' || line[0] == '%' {
+		el, skip, err := ParseEdgeLine(sc.Text(), opts.Comma)
+		if err != nil {
+			return nil, fmt.Errorf("temporal: line %d: %v", lineNo, err)
+		}
+		if skip {
 			continue
 		}
-		if opts.Comma {
-			line = strings.ReplaceAll(line, ",", " ")
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 3 {
-			return nil, fmt.Errorf("temporal: line %d: want at least 3 fields, got %d", lineNo, len(fields))
-		}
-		u64, err := strconv.ParseInt(fields[0], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("temporal: line %d: bad source node %q: %v", lineNo, fields[0], err)
-		}
-		v64, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("temporal: line %d: bad target node %q: %v", lineNo, fields[1], err)
-		}
-		t, err := strconv.ParseInt(fields[2], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("temporal: line %d: bad timestamp %q: %v", lineNo, fields[2], err)
-		}
+		u64, v64, t := el.U, el.V, el.T
 		var u, v NodeID
 		if opts.Relabel {
 			u, next = relabelID(relabel, u64, next)

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"hare"
+	"hare/internal/brute"
 )
 
 func TestStreamAPIMatchesBatch(t *testing.T) {
@@ -38,6 +39,112 @@ func TestStreamAPIMatchesBatch(t *testing.T) {
 	got := sc.Matrix()
 	if !got.Equal(&batch.Matrix) {
 		t.Fatalf("stream and batch disagree: %v", got.Diff(&batch.Matrix))
+	}
+}
+
+// randomStream yields a sorted random edge list through the public types.
+func randomStream(r *rand.Rand, nodes, n int, span int64) []hare.Edge {
+	edges := make([]hare.Edge, 0, n)
+	for i := 0; i < n; i++ {
+		u := hare.NodeID(r.Intn(nodes))
+		v := hare.NodeID(r.Intn(nodes))
+		if u == v {
+			v = (v + 1) % hare.NodeID(nodes)
+		}
+		edges = append(edges, hare.Edge{From: u, To: v, Time: r.Int63n(span)})
+	}
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Time < edges[j].Time })
+	return edges
+}
+
+// TestStreamBatchEquivalence feeds the same randomized streams to the batch
+// counter (hare.Count), the sequential online path (Add), and the parallel
+// batched path (AddBatch) and requires bit-identical matrices from all
+// three — the contract that lets a live service swap ingest paths freely.
+func TestStreamBatchEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 10; trial++ {
+		nodes := 4 + r.Intn(16)
+		edges := randomStream(r, nodes, 200+r.Intn(600), 1+r.Int63n(150))
+		delta := hare.Timestamp(r.Intn(50))
+		workers := 2 + r.Intn(6)
+		batchLen := 1 + r.Intn(len(edges))
+
+		seq, err := hare.NewStream(delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range edges {
+			if err := seq.Add(e.From, e.To, e.Time); err != nil {
+				t.Fatal(err)
+			}
+		}
+		par, err := hare.NewStreamCounter(hare.StreamOptions{Delta: delta, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lo := 0; lo < len(edges); lo += batchLen {
+			hi := min(lo+batchLen, len(edges))
+			if err := par.AddBatch(edges[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		batch, err := hare.Count(hare.FromEdges(edges), delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqM, parM := seq.Matrix(), par.Matrix()
+		if !parM.Equal(&seqM) {
+			t.Fatalf("trial %d: AddBatch vs Add diff %v", trial, parM.Diff(&seqM))
+		}
+		if !parM.Equal(&batch.Matrix) {
+			t.Fatalf("trial %d: AddBatch vs Count diff %v", trial, parM.Diff(&batch.Matrix))
+		}
+	}
+}
+
+// TestSlidingStreamAPI checks the sliding-window mode against brute force
+// over exactly the window's edge subset.
+func TestSlidingStreamAPI(t *testing.T) {
+	r := rand.New(rand.NewSource(64))
+	edges := randomStream(r, 10, 400, 300)
+	const delta = 40
+	sc, err := hare.NewStreamCounter(hare.StreamOptions{
+		Delta: delta, Mode: hare.StreamSliding, Workers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < len(edges); lo += 100 {
+		hi := min(lo+100, len(edges))
+		if err := sc.AddBatch(edges[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		got, err := sc.WindowMatrix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastT := edges[hi-1].Time
+		var live []hare.Edge
+		for _, e := range edges[:hi] {
+			if e.Time >= lastT-delta {
+				live = append(live, e)
+			}
+		}
+		want := brute.Count(hare.FromEdges(live), delta)
+		if !got.Equal(&want) {
+			t.Fatalf("after %d edges: window diff %v", hi, got.Diff(&want))
+		}
+	}
+	if err := sc.Advance(edges[len(edges)-1].Time + 2*delta); err != nil {
+		t.Fatal(err)
+	}
+	w, err := sc.WindowMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Total() != 0 {
+		t.Fatalf("window not empty after draining Advance: %d", w.Total())
 	}
 }
 
