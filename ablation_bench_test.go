@@ -117,14 +117,14 @@ func countTriNoIndex(g *temporal.Graph, delta temporal.Timestamp, tri *motif.Tri
 	for ui := 0; ui < g.NumNodes(); ui++ {
 		u := temporal.NodeID(ui)
 		su := g.Seq(u)
-		for i := 0; i < len(su)-1; i++ {
-			ei := su[i]
+		for i := 0; i < su.Len()-1; i++ {
+			ei := su.At(i)
 			if ei.Other < u {
 				continue
 			}
 			di := motif.Dir(ei.Dir())
-			for j := i + 1; j < len(su); j++ {
-				ej := su[j]
+			for j := i + 1; j < su.Len(); j++ {
+				ej := su.At(j)
 				if ej.Time-ei.Time > delta {
 					break
 				}
@@ -133,8 +133,9 @@ func countTriNoIndex(g *temporal.Graph, delta temporal.Timestamp, tri *motif.Tri
 				}
 				dj := motif.Dir(ej.Dir())
 				sv := g.Seq(ei.Other)
-				lo := sort.Search(len(sv), func(k int) bool { return sv[k].Time >= ej.Time-delta })
-				for _, ek := range sv[lo:] {
+				lo := sort.Search(sv.Len(), func(k int) bool { return sv.Time[k] >= ej.Time-delta })
+				for k := lo; k < sv.Len(); k++ {
+					ek := sv.At(k)
 					if ek.Time > ei.Time+delta {
 						break
 					}

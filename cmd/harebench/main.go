@@ -1,18 +1,24 @@
 // Command harebench regenerates the paper's evaluation tables and figures
-// on the synthetic dataset suite.
+// on the synthetic dataset suite, or emits a machine-readable benchmark
+// report.
 //
 // Usage:
 //
 //	harebench -exp table3                       # one experiment
 //	harebench -exp all -scale 0.25              # the whole evaluation
 //	harebench -exp fig11 -datasets wikitalk,sms-a -threads 1,2,4,8
+//	harebench -json -scale 0.05 -count 5 -out BENCH.json
 //
 // Experiments: table2, table3, fig9, fig10, fig11, fig12a, fig12b, all.
+// With -json the experiment selection is ignored and a JSON report with
+// per-dataset ingest/count edges/sec, ns/op and steady-state allocs per
+// center is written to -out (stdout by default).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -24,17 +30,33 @@ import (
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment to run (see package doc)")
-		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
-		delta    = flag.Int64("delta", 600, "δ in seconds")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor (> 0)")
+		delta    = flag.Int64("delta", 600, "δ in seconds (> 0)")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's paper set)")
-		threads  = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread sweep")
+		threads  = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread sweep (each >= 1)")
 		seed     = flag.Int64("seed", 0, "seed offset for the generated datasets")
+		jsonOut  = flag.Bool("json", false, "emit the machine-readable benchmark report instead of an experiment")
+		count    = flag.Int("count", 3, "json mode: best-of repetitions per measurement (>= 1)")
+		outPath  = flag.String("out", "", "json mode: output file (default stdout)")
 	)
 	flag.Parse()
+	if *scale <= 0 {
+		usageErr("-scale must be > 0 (got %g)", *scale)
+	}
+	if *delta <= 0 {
+		usageErr("-delta must be > 0 (got %d)", *delta)
+	}
+	if *count < 1 {
+		usageErr("-count must be >= 1 (got %d)", *count)
+	}
 	ths, err := parseInts(*threads)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "harebench: -threads:", err)
-		os.Exit(2)
+		usageErr("-threads: %v", err)
+	}
+	for _, th := range ths {
+		if th < 1 {
+			usageErr("-threads entries must be >= 1 (got %d)", th)
+		}
 	}
 	opts := bench.Options{
 		Out:     os.Stdout,
@@ -46,10 +68,35 @@ func main() {
 	if *datasets != "" {
 		opts.Datasets = strings.Split(*datasets, ",")
 	}
+	if *jsonOut {
+		var w io.Writer = os.Stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "harebench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := bench.WriteJSON(w, opts, *count); err != nil {
+			fmt.Fprintln(os.Stderr, "harebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := bench.Run(*exp, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "harebench:", err)
 		os.Exit(1)
 	}
+}
+
+// usageErr reports a flag-validation failure with usage text and exits 2,
+// matching the flag package's own misuse convention.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "harebench: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func parseInts(s string) ([]int, error) {

@@ -33,13 +33,28 @@ func main() {
 	)
 	flag.Parse()
 	if *input == "" {
-		flag.Usage()
-		os.Exit(2)
+		usageErr("-input is required")
+	}
+	if _, err := os.Stat(*input); err != nil {
+		usageErr("-input: %v", err)
+	}
+	if *delta <= 0 {
+		usageErr("-delta must be > 0 (got %d)", *delta)
+	}
+	if *workers < 0 {
+		usageErr("-workers must be >= 0 (got %d; 0 = all CPUs)", *workers)
 	}
 	if err := run(*input, *delta, *workers, *thrd, *only, *relabel, *comma, *stats, *check); err != nil {
 		fmt.Fprintln(os.Stderr, "harecount:", err)
 		os.Exit(1)
 	}
+}
+
+// usageErr reports a flag-validation failure with usage text and exits 2.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "harecount: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func run(input string, delta int64, workers, thrd int, only string, relabel, comma, stats, check bool) error {

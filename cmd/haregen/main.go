@@ -38,11 +38,24 @@ func main() {
 		burst   = flag.Int("burst", 5, "custom graph: mean burst length")
 	)
 	flag.Parse()
+	if *scale <= 0 {
+		usageErr("-scale must be > 0 (got %g)", *scale)
+	}
+	if *nodes < 0 || *edges < 0 || *span < 0 {
+		usageErr("-nodes/-edges/-span must be >= 0")
+	}
 	if err := run(*list, *dataset, *all, *scale, *seed, *out, *outdir,
 		*nodes, *edges, *span, *zipf, *reply, *repeat, *triad, *burst); err != nil {
 		fmt.Fprintln(os.Stderr, "haregen:", err)
 		os.Exit(1)
 	}
+}
+
+// usageErr reports a flag-validation failure with usage text and exits 2.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "haregen: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func run(list bool, dataset string, all bool, scale float64, seed int64, out, outdir string,

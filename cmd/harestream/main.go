@@ -31,10 +31,34 @@ func main() {
 		sliding = flag.Bool("sliding", false, "track the last-δ window, not just cumulative totals")
 	)
 	flag.Parse()
+	if *delta <= 0 {
+		usageErr("-delta must be > 0 (got %d)", *delta)
+	}
+	if *workers < 0 {
+		usageErr("-workers must be >= 0 (got %d; 0 = GOMAXPROCS)", *workers)
+	}
+	if *every < 0 {
+		usageErr("-every must be >= 0 (got %d)", *every)
+	}
+	if *batch < 0 {
+		usageErr("-batch must be >= 0 (got %d)", *batch)
+	}
+	if *input != "-" {
+		if _, err := os.Stat(*input); err != nil {
+			usageErr("-input: %v", err)
+		}
+	}
 	if err := run(*input, *delta, *every, *watch, *workers, *batch, *sliding); err != nil {
 		fmt.Fprintln(os.Stderr, "harestream:", err)
 		os.Exit(1)
 	}
+}
+
+// usageErr reports a flag-validation failure with usage text and exits 2.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "harestream: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func run(input string, delta int64, every int, watch string, workers, batch int, sliding bool) error {

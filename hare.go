@@ -41,6 +41,11 @@ type (
 	NodeID = temporal.NodeID
 	// Timestamp is an edge time in integer units (conventionally seconds).
 	Timestamp = temporal.Timestamp
+	// HalfEdge is an edge viewed from one endpoint (time, neighbor, direction).
+	HalfEdge = temporal.HalfEdge
+	// Seq is a columnar view of a chronologically ordered half-edge sequence,
+	// as returned by Graph.Seq and Graph.Between.
+	Seq = temporal.Seq
 	// LoadOptions controls edge-list parsing.
 	LoadOptions = temporal.LoadOptions
 	// Stats summarises a graph (Table II columns).

@@ -15,7 +15,6 @@ package bt
 
 import (
 	"fmt"
-	"sort"
 
 	"hare/internal/motif"
 	"hare/internal/temporal"
@@ -140,38 +139,41 @@ func (m *matcher) extend(level int, lastID temporal.EdgeID) uint64 {
 		// repository's per-pair index (an optimisation BT does not have —
 		// and a large part of why FAST-Pair wins in Table III).
 		a, b := m.bound[srcVar], m.bound[dstVar]
-		for _, h := range seqAfter(m.g.Seq(a), lastID) {
-			if h.Time > m.deadAt {
+		seq := m.g.Seq(a).After(lastID)
+		for i := 0; i < seq.Len(); i++ {
+			if seq.Time[i] > m.deadAt {
 				break
 			}
-			if h.Out && h.Other == b { // a -> b as required
-				n += m.extend(level+1, h.ID)
+			if seq.Out[i] && seq.Other[i] == b { // a -> b as required
+				n += m.extend(level+1, seq.ID[i])
 			}
 		}
 	case srcSet:
 		a := m.bound[srcVar]
-		for _, h := range seqAfter(m.g.Seq(a), lastID) {
-			if h.Time > m.deadAt {
+		seq := m.g.Seq(a).After(lastID)
+		for i := 0; i < seq.Len(); i++ {
+			if seq.Time[i] > m.deadAt {
 				break
 			}
-			if !h.Out || m.conflicts(h.Other) {
+			if !seq.Out[i] || m.conflicts(seq.Other[i]) {
 				continue
 			}
-			m.bound[dstVar], m.isSet[dstVar] = h.Other, true
-			n += m.extend(level+1, h.ID)
+			m.bound[dstVar], m.isSet[dstVar] = seq.Other[i], true
+			n += m.extend(level+1, seq.ID[i])
 			m.isSet[dstVar] = false
 		}
 	case dstSet:
 		b := m.bound[dstVar]
-		for _, h := range seqAfter(m.g.Seq(b), lastID) {
-			if h.Time > m.deadAt {
+		seq := m.g.Seq(b).After(lastID)
+		for i := 0; i < seq.Len(); i++ {
+			if seq.Time[i] > m.deadAt {
 				break
 			}
-			if h.Out || m.conflicts(h.Other) {
+			if seq.Out[i] || m.conflicts(seq.Other[i]) {
 				continue
 			}
-			m.bound[srcVar], m.isSet[srcVar] = h.Other, true
-			n += m.extend(level+1, h.ID)
+			m.bound[srcVar], m.isSet[srcVar] = seq.Other[i], true
+			n += m.extend(level+1, seq.ID[i])
 			m.isSet[srcVar] = false
 		}
 	default:
@@ -190,13 +192,6 @@ func (m *matcher) conflicts(v temporal.NodeID) bool {
 		}
 	}
 	return false
-}
-
-// seqAfter returns the suffix of a (EdgeID-sorted) half-edge slice with IDs
-// strictly greater than lastID.
-func seqAfter(seq []temporal.HalfEdge, lastID temporal.EdgeID) []temporal.HalfEdge {
-	i := sort.Search(len(seq), func(k int) bool { return seq[k].ID > lastID })
-	return seq[i:]
 }
 
 // Count counts all instances of one pattern in the graph.

@@ -16,18 +16,19 @@ func CountPairs(g *temporal.Graph, delta temporal.Timestamp) motif.Matrix {
 	var times []temporal.Timestamp
 	var classes []uint8
 	for u := 0; u < g.NumNodes(); u++ {
-		for w, seq := range pairSequences(g, temporal.NodeID(u)) {
+		for _, w := range g.Neighbors(temporal.NodeID(u)) {
 			if w <= temporal.NodeID(u) {
 				continue // each unordered pair once
 			}
-			if len(seq) < 3 {
+			seq := g.Between(temporal.NodeID(u), w)
+			if seq.Len() < 3 {
 				continue
 			}
 			times = times[:0]
 			classes = classes[:0]
-			for _, h := range seq {
-				times = append(times, h.Time)
-				classes = append(classes, uint8(h.Dir()))
+			for i := 0; i < seq.Len(); i++ {
+				times = append(times, seq.Time[i])
+				classes = append(classes, uint8(motif.DirOf(seq.Out[i])))
 			}
 			tc.reset()
 			tc.run(times, classes, delta)
@@ -43,21 +44,6 @@ func CountPairs(g *temporal.Graph, delta temporal.Timestamp) motif.Matrix {
 		}
 	}
 	return m
-}
-
-// pairSequences yields u's per-neighbor edge sequences (directions relative
-// to u, sorted by EdgeID).
-func pairSequences(g *temporal.Graph, u temporal.NodeID) map[temporal.NodeID][]temporal.HalfEdge {
-	seqs := make(map[temporal.NodeID][]temporal.HalfEdge)
-	for _, h := range g.Seq(u) {
-		if h.Other > u {
-			seqs[h.Other] = nil
-		}
-	}
-	for w := range seqs {
-		seqs[w] = g.Between(u, w)
-	}
-	return seqs
 }
 
 // CountStars runs the star stage of EX over all centers ("EX-Star").

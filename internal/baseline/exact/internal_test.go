@@ -149,19 +149,28 @@ func TestExtractRange(t *testing.T) {
 	}
 }
 
-func TestPairSequences(t *testing.T) {
+func TestPairStageNeighborIteration(t *testing.T) {
+	// CountPairs visits each unordered pair once, from its lower endpoint,
+	// via the graph's sorted neighbor keys.
 	g := temporal.FromEdges([]temporal.Edge{
 		{From: 0, To: 1, Time: 1}, {From: 1, To: 0, Time: 2}, {From: 0, To: 2, Time: 3},
 	})
-	seqs := pairSequences(g, 0)
-	if len(seqs) != 2 {
-		t.Fatalf("node 0 has %d higher neighbors, want 2", len(seqs))
+	var higher []temporal.NodeID
+	for _, w := range g.Neighbors(0) {
+		if w > 0 {
+			higher = append(higher, w)
+		}
 	}
-	if len(seqs[1]) != 2 || len(seqs[2]) != 1 {
-		t.Fatalf("sequence lengths wrong: %d/%d", len(seqs[1]), len(seqs[2]))
+	if len(higher) != 2 {
+		t.Fatalf("node 0 has %d higher neighbors, want 2", len(higher))
 	}
-	// From node 1's perspective only pairs with higher IDs appear.
-	if len(pairSequences(g, 1)) != 0 {
-		t.Fatal("node 1 should see no higher-ID neighbors with edges")
+	if g.Between(0, 1).Len() != 2 || g.Between(0, 2).Len() != 1 {
+		t.Fatalf("pair sequence lengths wrong: %d/%d", g.Between(0, 1).Len(), g.Between(0, 2).Len())
+	}
+	// From node 1's perspective only node 0 is adjacent, and it is lower.
+	for _, w := range g.Neighbors(1) {
+		if w > 1 {
+			t.Fatalf("node 1 should see no higher-ID neighbors, got %d", w)
+		}
 	}
 }

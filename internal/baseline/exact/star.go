@@ -74,21 +74,22 @@ func (s *starSweeper) state(m temporal.NodeID) *nbrState {
 }
 
 // sweep runs the sweep for one center's sequence and accumulates star counts.
-func (s *starSweeper) sweep(seq []temporal.HalfEdge, delta temporal.Timestamp) {
-	n := len(seq)
+func (s *starSweeper) sweep(seq temporal.Seq, delta temporal.Timestamp) {
+	n := seq.Len()
 	s.reset(n)
 	if n < 3 {
 		return
 	}
-	for p, h := range seq {
+	for p := 0; p < n; p++ {
 		s.pref[0][p+1] = s.pref[0][p]
 		s.pref[1][p+1] = s.pref[1][p]
-		s.pref[h.Dir()][p+1]++
+		s.pref[motif.DirOf(seq.Out[p])][p+1]++
 	}
 	start := 0
-	for j, e3 := range seq {
-		for seq[start].Time < e3.Time-delta {
-			s.pop(seq[start], start)
+	for j := 0; j < n; j++ {
+		e3 := seq.At(j)
+		for seq.Time[start] < e3.Time-delta {
+			s.pop(seq.At(start), start)
 			start++
 		}
 		s.accumulate(e3, j, start)

@@ -63,20 +63,12 @@ func init() {
 	}
 }
 
-// staticAdj returns, per node, the sorted distinct static neighbors.
+// staticAdj returns, per node, the sorted distinct static neighbors — a
+// direct view of the graph's grouped neighbor-key column.
 func staticAdj(g *temporal.Graph) [][]temporal.NodeID {
 	adj := make([][]temporal.NodeID, g.NumNodes())
 	for u := 0; u < g.NumNodes(); u++ {
-		seen := make(map[temporal.NodeID]struct{})
-		for _, h := range g.Seq(temporal.NodeID(u)) {
-			seen[h.Other] = struct{}{}
-		}
-		ns := make([]temporal.NodeID, 0, len(seen))
-		for v := range seen {
-			ns = append(ns, v)
-		}
-		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
-		adj[u] = ns
+		adj[u] = g.Neighbors(temporal.NodeID(u))
 	}
 	return adj
 }
@@ -129,46 +121,43 @@ func (s *triScratch) merge(g *temporal.Graph, a, b, c temporal.NodeID) {
 	s.times = s.times[:0]
 	s.classes = s.classes[:0]
 	i, j, k := 0, 0, 0
-	for i < len(ab) || j < len(ac) || k < len(bc) {
+	for i < ab.Len() || j < ac.Len() || k < bc.Len() {
 		best := -1
 		var id temporal.EdgeID
-		if i < len(ab) {
-			best, id = 0, ab[i].ID
+		if i < ab.Len() {
+			best, id = 0, ab.ID[i]
 		}
-		if j < len(ac) && (best == -1 || ac[j].ID < id) {
-			best, id = 1, ac[j].ID
+		if j < ac.Len() && (best == -1 || ac.ID[j] < id) {
+			best, id = 1, ac.ID[j]
 		}
-		if k < len(bc) && (best == -1 || bc[k].ID < id) {
+		if k < bc.Len() && (best == -1 || bc.ID[k] < id) {
 			best = 2
 		}
 		switch best {
 		case 0:
-			h := ab[i]
-			i++
-			s.times = append(s.times, h.Time)
-			if h.Out {
+			s.times = append(s.times, ab.Time[i])
+			if ab.Out[i] {
 				s.classes = append(s.classes, clsAB)
 			} else {
 				s.classes = append(s.classes, clsBA)
 			}
+			i++
 		case 1:
-			h := ac[j]
-			j++
-			s.times = append(s.times, h.Time)
-			if h.Out {
+			s.times = append(s.times, ac.Time[j])
+			if ac.Out[j] {
 				s.classes = append(s.classes, clsAC)
 			} else {
 				s.classes = append(s.classes, clsCA)
 			}
+			j++
 		default:
-			h := bc[k]
-			k++
-			s.times = append(s.times, h.Time)
-			if h.Out {
+			s.times = append(s.times, bc.Time[k])
+			if bc.Out[k] {
 				s.classes = append(s.classes, clsBC)
 			} else {
 				s.classes = append(s.classes, clsCB)
 			}
+			k++
 		}
 	}
 }

@@ -12,8 +12,6 @@
 package twoscent
 
 import (
-	"sort"
-
 	"hare/internal/temporal"
 )
 
@@ -31,21 +29,22 @@ func CountCycles(g *temporal.Graph, delta temporal.Timestamp) uint64 {
 			continue
 		}
 		// Constrained DFS, depth 2: a->b (root), b->c, c->a.
-		for _, h2 := range halfEdgesAfter(g.Seq(root.To), temporal.EdgeID(id)) {
-			if h2.Time > deadline {
+		s2 := g.Seq(root.To).After(temporal.EdgeID(id))
+		for i := 0; i < s2.Len(); i++ {
+			if s2.Time[i] > deadline {
 				break
 			}
-			if !h2.Out || h2.Other == root.From {
+			if !s2.Out[i] || s2.Other[i] == root.From {
 				continue
 			}
 			// Close via c's outgoing adjacency, as the DFS of the original
 			// algorithm does (2SCENT carries no per-pair edge index).
-			c := h2.Other
-			for _, h3 := range halfEdgesAfter(g.Seq(c), h2.ID) {
-				if h3.Time > deadline {
+			s3 := g.Seq(s2.Other[i]).After(s2.ID[i])
+			for k := 0; k < s3.Len(); k++ {
+				if s3.Time[k] > deadline {
 					break
 				}
-				if h3.Out && h3.Other == root.From { // c -> a closes the cycle
+				if s3.Out[k] && s3.Other[k] == root.From { // c -> a closes the cycle
 					n++
 				}
 			}
@@ -57,18 +56,14 @@ func CountCycles(g *temporal.Graph, delta temporal.Timestamp) uint64 {
 // hasIncomingAfter reports whether node a has an incoming edge with ID >
 // after and time <= deadline.
 func hasIncomingAfter(g *temporal.Graph, a temporal.NodeID, after temporal.EdgeID, deadline temporal.Timestamp) bool {
-	for _, h := range halfEdgesAfter(g.Seq(a), after) {
-		if h.Time > deadline {
+	seq := g.Seq(a).After(after)
+	for i := 0; i < seq.Len(); i++ {
+		if seq.Time[i] > deadline {
 			return false
 		}
-		if !h.Out {
+		if !seq.Out[i] {
 			return true
 		}
 	}
 	return false
-}
-
-func halfEdgesAfter(seq []temporal.HalfEdge, after temporal.EdgeID) []temporal.HalfEdge {
-	i := sort.Search(len(seq), func(k int) bool { return seq[k].ID > after })
-	return seq[i:]
 }

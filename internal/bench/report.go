@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"hare/internal/engine"
+	"hare/internal/fast"
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+// ReportSchema versions the JSON benchmark report format.
+const ReportSchema = 1
+
+// DatasetReport holds one dataset's measured numbers. Timings are
+// best-of-Runs wall times; rates derive from them.
+type DatasetReport struct {
+	Name         string `json:"name"`
+	Nodes        int    `json:"nodes"`
+	Edges        int    `json:"edges"`
+	DeltaSeconds int64  `json:"delta_seconds"`
+
+	// Ingest: building the columnar CSR graph from an edge slice.
+	IngestNsOp        int64   `json:"ingest_ns_op"`
+	IngestEdgesPerSec float64 `json:"ingest_edges_per_sec"`
+
+	// Count: single-threaded FAST (stars+pairs+triangles, dedup mode).
+	CountNsOp        int64   `json:"count_ns_op"`
+	CountEdgesPerSec float64 `json:"count_edges_per_sec"`
+
+	// Parallel: HARE with default options (all CPUs).
+	ParallelNsOp        int64   `json:"parallel_ns_op"`
+	ParallelEdgesPerSec float64 `json:"parallel_edges_per_sec"`
+	ParallelWorkers     int     `json:"parallel_workers"`
+
+	// Steady-state allocation behaviour of the FAST per-center hot path
+	// (full pass over all centers with a warmed-up reused Scratch).
+	AllocsPerCenter float64 `json:"allocs_per_center"`
+	BytesPerCenter  float64 `json:"bytes_per_center"`
+}
+
+// Report is the machine-readable benchmark report emitted by
+// `harebench -json` and archived by CI as BENCH_<pr>.json.
+type Report struct {
+	Schema    int             `json:"schema"`
+	GoVersion string          `json:"go_version"`
+	GOOS      string          `json:"goos"`
+	GOARCH    string          `json:"goarch"`
+	CPUs      int             `json:"cpus"`
+	Scale     float64         `json:"scale"`
+	Runs      int             `json:"runs"`
+	Datasets  []DatasetReport `json:"datasets"`
+}
+
+// jsonDefaults is the dataset list measured when Options.Datasets is empty:
+// a skew spread (wikitalk hub-heavy, sms-a bursty, collegemsg small-dense)
+// that runs in CI-friendly time at small scales.
+var jsonDefaults = []string{"collegemsg", "sms-a", "wikitalk"}
+
+// JSONReport measures ingest and counting performance per dataset and
+// returns the structured report. runs is the best-of repetition count
+// (>= 1); Options.Out is not used.
+func JSONReport(opts Options, runs int) (*Report, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	rep := &Report{
+		Schema:    ReportSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Scale:     opts.scale(),
+		Runs:      runs,
+	}
+	s := newSuite(opts)
+	delta := opts.delta()
+	for _, name := range s.names(jsonDefaults) {
+		g, err := s.graph(name)
+		if err != nil {
+			return nil, err
+		}
+		edges := g.Edges()
+		d := DatasetReport{
+			Name:         name,
+			Nodes:        g.NumNodes(),
+			Edges:        g.NumEdges(),
+			DeltaSeconds: int64(delta),
+		}
+
+		d.IngestNsOp = bestOf(runs, func() {
+			temporal.FromEdges(edges)
+		})
+		d.IngestEdgesPerSec = rate(d.Edges, d.IngestNsOp)
+
+		d.CountNsOp = bestOf(runs, func() {
+			fast.Count(g, delta)
+		})
+		d.CountEdgesPerSec = rate(d.Edges, d.CountNsOp)
+
+		eo := engine.Options{}
+		d.ParallelWorkers = runtime.GOMAXPROCS(0)
+		d.ParallelNsOp = bestOf(runs, func() {
+			engine.Count(g, delta, eo)
+		})
+		d.ParallelEdgesPerSec = rate(d.Edges, d.ParallelNsOp)
+
+		d.AllocsPerCenter, d.BytesPerCenter = measureHotPathAllocs(g, delta)
+
+		rep.Datasets = append(rep.Datasets, d)
+	}
+	return rep, nil
+}
+
+// WriteJSON runs JSONReport and writes it, indented, to w.
+func WriteJSON(w io.Writer, opts Options, runs int) error {
+	rep, err := JSONReport(opts, runs)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// bestOf returns the fastest of runs wall-clock timings of f, in ns.
+func bestOf(runs int, f func()) int64 {
+	best := int64(-1)
+	for i := 0; i < runs; i++ {
+		t0 := time.Now()
+		f()
+		if ns := time.Since(t0).Nanoseconds(); best < 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+func rate(edges int, nsOp int64) float64 {
+	if nsOp <= 0 {
+		return 0
+	}
+	return float64(edges) / (float64(nsOp) / 1e9)
+}
+
+// measureHotPathAllocs runs the FAST per-center hot path (Algorithm 1 + 2,
+// recount mode — exactly what a HARE worker executes) over every center with
+// a reused Scratch, and reports steady-state allocations per center: one
+// warm-up pass grows the scratch, then a measured pass counts mallocs. With
+// the dense epoch-versioned Scratch this is ~0.
+func measureHotPathAllocs(g *temporal.Graph, delta temporal.Timestamp) (allocs, bytes float64) {
+	centers := g.NumNodes()
+	if centers == 0 {
+		return 0, 0
+	}
+	scratch := fast.NewScratch()
+	scratch.Grow(centers)
+	counts := &motif.Counts{TriMultiplicity: 3}
+	pass := func() {
+		for u := 0; u < centers; u++ {
+			fast.CountStarPairNode(g, temporal.NodeID(u), delta, counts, scratch)
+			fast.CountTriNode(g, temporal.NodeID(u), delta, &counts.Tri, false)
+		}
+	}
+	pass() // warm up scratch growth and lazily built state
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	pass()
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(centers),
+		float64(after.TotalAlloc-before.TotalAlloc) / float64(centers)
+}

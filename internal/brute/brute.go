@@ -18,17 +18,21 @@ import (
 // pattern, and tallies the triples per motif label.
 func Count(g *temporal.Graph, delta temporal.Timestamp) motif.Matrix {
 	var m motif.Matrix
-	edges := g.Edges()
-	for i := 0; i < len(edges); i++ {
-		for j := i + 1; j < len(edges); j++ {
-			if edges[j].Time-edges[i].Time > delta {
+	// Read the columnar edge store directly; EdgeID order is the row order.
+	src, dst, ts := g.Src(), g.Dst(), g.Times()
+	for i := 0; i < len(ts); i++ {
+		ei := temporal.Edge{From: src[i], To: dst[i], Time: ts[i]}
+		for j := i + 1; j < len(ts); j++ {
+			if ts[j]-ts[i] > delta {
 				break
 			}
-			for k := j + 1; k < len(edges); k++ {
-				if edges[k].Time-edges[i].Time > delta {
+			ej := temporal.Edge{From: src[j], To: dst[j], Time: ts[j]}
+			for k := j + 1; k < len(ts); k++ {
+				if ts[k]-ts[i] > delta {
 					break
 				}
-				if l, ok := motif.Classify(edges[i], edges[j], edges[k]); ok {
+				ek := temporal.Edge{From: src[k], To: dst[k], Time: ts[k]}
+				if l, ok := motif.Classify(ei, ej, ek); ok {
 					m.AddAt(l, 1)
 				}
 			}
@@ -55,17 +59,18 @@ type Instance struct {
 // examples that need to inspect occurrences, not just counts.
 func Enumerate(g *temporal.Graph, delta temporal.Timestamp) []Instance {
 	var out []Instance
-	edges := g.Edges()
-	for i := 0; i < len(edges); i++ {
-		for j := i + 1; j < len(edges); j++ {
-			if edges[j].Time-edges[i].Time > delta {
+	src, dst, ts := g.Src(), g.Dst(), g.Times()
+	edge := func(i int) temporal.Edge { return temporal.Edge{From: src[i], To: dst[i], Time: ts[i]} }
+	for i := 0; i < len(ts); i++ {
+		for j := i + 1; j < len(ts); j++ {
+			if ts[j]-ts[i] > delta {
 				break
 			}
-			for k := j + 1; k < len(edges); k++ {
-				if edges[k].Time-edges[i].Time > delta {
+			for k := j + 1; k < len(ts); k++ {
+				if ts[k]-ts[i] > delta {
 					break
 				}
-				if l, ok := motif.Classify(edges[i], edges[j], edges[k]); ok {
+				if l, ok := motif.Classify(edge(i), edge(j), edge(k)); ok {
 					out = append(out, Instance{
 						Label: l,
 						Edges: [3]temporal.EdgeID{temporal.EdgeID(i), temporal.EdgeID(j), temporal.EdgeID(k)},

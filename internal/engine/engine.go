@@ -119,6 +119,7 @@ func run(g *temporal.Graph, delta temporal.Timestamp, opts Options, doStar, doTr
 	for w := range perWorker {
 		perWorker[w] = &motif.Counts{TriMultiplicity: 3}
 		scratch[w] = fast.NewScratch()
+		scratch[w].Grow(g.NumNodes()) // keep the workers' hot loops allocation free
 	}
 
 	// Stage 1: inter-node parallelism over light centers.
@@ -196,7 +197,7 @@ func intraNode(g *temporal.Graph, u temporal.NodeID, delta temporal.Timestamp,
 	su := g.Seq(u)
 	// First-edge iterations near the start of S_u dominate (longer suffix to
 	// scan), so use small dynamic chunks rather than a static split.
-	chunk := int64(len(su)/(workers*8) + 1)
+	chunk := int64(su.Len()/(workers*8) + 1)
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -206,11 +207,11 @@ func intraNode(g *temporal.Graph, u temporal.NodeID, delta temporal.Timestamp,
 			for {
 				end := cursor.Add(chunk)
 				start := end - chunk
-				if start >= int64(len(su)) {
+				if start >= int64(su.Len()) {
 					return
 				}
-				if end > int64(len(su)) {
-					end = int64(len(su))
+				if end > int64(su.Len()) {
+					end = int64(su.Len())
 				}
 				if doStar {
 					fast.CountStarPairRange(su, delta, perWorker[w], scratch[w], int(start), int(end))

@@ -9,37 +9,95 @@
 // Both run in time linear in |E| for bounded in-window degree d^δ
 // (O(d^δ·|E|) and O((d^δ)²·|E|) respectively).
 //
+// The hot loops iterate the graph's columnar CSR layout (temporal.Seq views)
+// directly, and the per-worker Scratch replaces Algorithm 1's hash maps with
+// dense epoch-versioned arrays: resetting between first-edge iterations is a
+// single epoch bump, and a warmed-up Scratch makes the per-center path
+// allocation free.
+//
 // Per-center counting is side-effect free with respect to other centers,
 // which is what makes the HARE framework (package engine) embarrassingly
 // parallel.
 package fast
 
 import (
-	"sort"
-
 	"hare/internal/motif"
 	"hare/internal/temporal"
 )
 
-// Scratch holds the reusable per-worker hash maps of Algorithm 1 (m_in and
-// m_out). Reusing a Scratch across centers keeps the hot loop allocation
-// free. A Scratch must not be shared between goroutines.
+// Scratch holds the reusable per-worker counters of Algorithm 1 (m_in and
+// m_out), stored as dense arrays indexed by NodeID with an epoch mark per
+// slot: a slot is live only when its mark equals the current epoch, so
+// clearing between scans is one epoch increment instead of a map clear.
+// Reusing a Scratch across centers keeps the hot loop allocation free once
+// the arrays have grown to the graph's node space (Grow preallocates).
+// A Scratch must not be shared between goroutines.
 type Scratch struct {
-	in  map[temporal.NodeID]uint64
-	out map[temporal.NodeID]uint64
+	in    []uint64
+	out   []uint64
+	mark  []uint32
+	epoch uint32
 }
 
-// NewScratch returns an empty Scratch.
+// NewScratch returns an empty Scratch. It grows on demand; call Grow with
+// the graph's node count to preallocate and keep the hot path allocation
+// free from the first center.
 func NewScratch() *Scratch {
-	return &Scratch{
-		in:  make(map[temporal.NodeID]uint64),
-		out: make(map[temporal.NodeID]uint64),
+	return &Scratch{epoch: 1}
+}
+
+// Grow ensures the scratch covers node IDs in [0, n).
+func (s *Scratch) Grow(n int) {
+	if n <= len(s.mark) {
+		return
+	}
+	if grown := 2 * len(s.mark); n < grown {
+		n = grown
+	}
+	in := make([]uint64, n)
+	copy(in, s.in)
+	s.in = in
+	out := make([]uint64, n)
+	copy(out, s.out)
+	s.out = out
+	mark := make([]uint32, n)
+	copy(mark, s.mark)
+	s.mark = mark
+}
+
+// reset invalidates every slot in O(1) by advancing the epoch.
+func (s *Scratch) reset() {
+	s.epoch++
+	if s.epoch == 0 { // wrapped: marks from 2^32 scans ago could alias
+		clear(s.mark)
+		s.epoch = 1
 	}
 }
 
-func (s *Scratch) reset() {
-	clear(s.in)
-	clear(s.out)
+// vals returns the live (m_in, m_out) counters for node u (zero when the
+// slot is stale or out of range).
+func (s *Scratch) vals(u temporal.NodeID) (cin, cout uint64) {
+	if int(u) < len(s.mark) && s.mark[u] == s.epoch {
+		return s.in[u], s.out[u]
+	}
+	return 0, 0
+}
+
+// bump increments m_out (out == true) or m_in for node u, reviving a stale
+// slot first.
+func (s *Scratch) bump(u temporal.NodeID, out bool) {
+	if int(u) >= len(s.mark) {
+		s.Grow(int(u) + 1)
+	}
+	if s.mark[u] != s.epoch {
+		s.mark[u] = s.epoch
+		s.in[u], s.out[u] = 0, 0
+	}
+	if out {
+		s.out[u]++
+	} else {
+		s.in[u]++
+	}
 }
 
 // CountStarPairNode runs Algorithm 1 (FAST-Star) for a single center node u,
@@ -47,47 +105,52 @@ func (s *Scratch) reset() {
 // motif seen from u's side is recorded.
 func CountStarPairNode(g *temporal.Graph, u temporal.NodeID, delta temporal.Timestamp,
 	counts *motif.Counts, s *Scratch) {
+	s.Grow(g.NumNodes())
 	su := g.Seq(u)
-	CountStarPairRange(su, delta, counts, s, 0, len(su))
+	CountStarPairRange(su, delta, counts, s, 0, su.Len())
 }
 
 // CountStarPairRange runs the outer loop of Algorithm 1 for first-edge
 // indices i in [from, to) of the sequence su. Splitting the range across
 // workers is HARE's intra-node parallel mode; the union over a partition of
-// [0, len(su)) equals CountStarPairNode.
-func CountStarPairRange(su []temporal.HalfEdge, delta temporal.Timestamp,
+// [0, su.Len()) equals CountStarPairNode.
+func CountStarPairRange(su temporal.Seq, delta temporal.Timestamp,
 	counts *motif.Counts, s *Scratch, from, to int) {
-	if to > len(su)-2 {
-		to = len(su) - 2
+	n := su.Len()
+	if to > n-2 {
+		to = n - 2
 	}
+	times, others, outs := su.Time, su.Other, su.Out
 	for i := from; i < to; i++ {
-		e1 := su[i]
-		d1 := motif.Dir(e1.Dir())
+		t1, o1 := times[i], others[i]
+		d1 := motif.DirOf(outs[i])
 		s.reset()
 		var nIn, nOut uint64 // #e_in, #e_out: middle-edge candidates so far
-		for j := i + 1; j < len(su); j++ {
-			e3 := su[j]
-			if e3.Time-e1.Time > delta {
+		for j := i + 1; j < n; j++ {
+			if times[j]-t1 > delta {
 				break
 			}
-			d3 := motif.Dir(e3.Dir())
-			if e3.Other == e1.Other {
-				cin, cout := s.in[e1.Other], s.out[e1.Other]
+			o3 := others[j]
+			d3 := motif.DirOf(outs[j])
+			if o3 == o1 {
+				cin, cout := s.vals(o1)
 				counts.Pair[motif.PairIndex(d1, motif.In, d3)] += cin
 				counts.Pair[motif.PairIndex(d1, motif.Out, d3)] += cout
 				counts.Star[motif.StarIndex(motif.StarII, d1, motif.In, d3)] += nIn - cin
 				counts.Star[motif.StarIndex(motif.StarII, d1, motif.Out, d3)] += nOut - cout
 			} else {
-				counts.Star[motif.StarIndex(motif.StarI, d1, motif.In, d3)] += s.in[e3.Other]
-				counts.Star[motif.StarIndex(motif.StarI, d1, motif.Out, d3)] += s.out[e3.Other]
-				counts.Star[motif.StarIndex(motif.StarIII, d1, motif.In, d3)] += s.in[e1.Other]
-				counts.Star[motif.StarIndex(motif.StarIII, d1, motif.Out, d3)] += s.out[e1.Other]
+				cin3, cout3 := s.vals(o3)
+				cin1, cout1 := s.vals(o1)
+				counts.Star[motif.StarIndex(motif.StarI, d1, motif.In, d3)] += cin3
+				counts.Star[motif.StarIndex(motif.StarI, d1, motif.Out, d3)] += cout3
+				counts.Star[motif.StarIndex(motif.StarIII, d1, motif.In, d3)] += cin1
+				counts.Star[motif.StarIndex(motif.StarIII, d1, motif.Out, d3)] += cout1
 			}
-			if e3.Out {
-				s.out[e3.Other]++
+			if outs[j] {
+				s.bump(o3, true)
 				nOut++
 			} else {
-				s.in[e3.Other]++
+				s.bump(o3, false)
 				nIn++
 			}
 		}
@@ -105,8 +168,7 @@ func CountStarPairRange(su []temporal.HalfEdge, delta temporal.Timestamp,
 // smallest vertex.
 func CountTriNode(g *temporal.Graph, u temporal.NodeID, delta temporal.Timestamp,
 	tri *motif.TriCounter, dedup bool) {
-	su := g.Seq(u)
-	CountTriRange(g, u, delta, tri, dedup, 0, len(su))
+	CountTriRange(g, u, delta, tri, dedup, 0, g.Degree(u))
 }
 
 // CountTriRange runs the outer loop of Algorithm 2 for first-edge indices i
@@ -114,45 +176,60 @@ func CountTriNode(g *temporal.Graph, u temporal.NodeID, delta temporal.Timestamp
 func CountTriRange(g *temporal.Graph, u temporal.NodeID, delta temporal.Timestamp,
 	tri *motif.TriCounter, dedup bool, from, to int) {
 	su := g.Seq(u)
-	if to > len(su)-1 {
-		to = len(su) - 1
+	n := su.Len()
+	if to > n-1 {
+		to = n - 1
 	}
+	times, others, outs, ids := su.Time, su.Other, su.Out, su.ID
 	for i := from; i < to; i++ {
-		ei := su[i]
-		if dedup && ei.Other < u {
+		oi := others[i]
+		if dedup && oi < u {
 			continue
 		}
-		di := motif.Dir(ei.Dir())
-		for j := i + 1; j < len(su); j++ {
-			ej := su[j]
-			if ej.Time-ei.Time > delta {
+		ti := times[i]
+		di := motif.DirOf(outs[i])
+		idi := ids[i]
+		for j := i + 1; j < n; j++ {
+			if times[j]-ti > delta {
 				break
 			}
-			if ej.Other == ei.Other {
+			oj := others[j]
+			if oj == oi {
 				continue
 			}
-			if dedup && ej.Other < u {
+			if dedup && oj < u {
 				continue
 			}
-			dj := motif.Dir(ej.Dir())
-			between := g.Between(ei.Other, ej.Other) // directions relative to v = ei.Other
-			if len(between) == 0 {
+			dj := motif.DirOf(outs[j])
+			idj := ids[j]
+			between := g.Between(oi, oj) // directions relative to v = oi
+			bn := between.Len()
+			if bn == 0 {
 				continue
 			}
 			// Only edges with t_k >= t_j − δ can participate (Triangle-I
 			// needs t_j − t_k ≤ δ; types II/III start at t_i ≥ t_j − δ).
-			lo := sort.Search(len(between), func(k int) bool {
-				return between[k].Time >= ej.Time-delta
-			})
-			for _, ek := range between[lo:] {
-				if ek.Time > ei.Time+delta {
+			bTimes := between.Time
+			minT := times[j] - delta
+			lo, hi := 0, bn
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if bTimes[mid] < minT {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			bIDs, bOuts := between.ID, between.Out
+			for k := lo; k < bn; k++ {
+				if bTimes[k]-ti > delta {
 					break // Triangle-III needs t_k − t_i ≤ δ
 				}
-				dk := motif.Dir(ek.Dir())
+				dk := motif.DirOf(bOuts[k])
 				switch {
-				case ek.ID < ei.ID:
+				case bIDs[k] < idi:
 					tri[motif.TriIndex(motif.TriI, di, dj, dk)]++
-				case ek.ID < ej.ID:
+				case bIDs[k] < idj:
 					tri[motif.TriIndex(motif.TriII, di, dj, dk)]++
 				default:
 					tri[motif.TriIndex(motif.TriIII, di, dj, dk)]++
@@ -168,6 +245,7 @@ func CountTriRange(g *temporal.Graph, u temporal.NodeID, delta temporal.Timestam
 func Count(g *temporal.Graph, delta temporal.Timestamp) *motif.Counts {
 	counts := &motif.Counts{TriMultiplicity: 1}
 	s := NewScratch()
+	s.Grow(g.NumNodes())
 	for u := 0; u < g.NumNodes(); u++ {
 		CountStarPairNode(g, temporal.NodeID(u), delta, counts, s)
 		CountTriNode(g, temporal.NodeID(u), delta, &counts.Tri, true)
@@ -181,6 +259,7 @@ func Count(g *temporal.Graph, delta temporal.Timestamp) *motif.Counts {
 func CountRecount(g *temporal.Graph, delta temporal.Timestamp) *motif.Counts {
 	counts := &motif.Counts{TriMultiplicity: 3}
 	s := NewScratch()
+	s.Grow(g.NumNodes())
 	for u := 0; u < g.NumNodes(); u++ {
 		CountStarPairNode(g, temporal.NodeID(u), delta, counts, s)
 		CountTriNode(g, temporal.NodeID(u), delta, &counts.Tri, false)
@@ -193,6 +272,7 @@ func CountRecount(g *temporal.Graph, delta temporal.Timestamp) *motif.Counts {
 func CountStarPair(g *temporal.Graph, delta temporal.Timestamp) *motif.Counts {
 	counts := &motif.Counts{TriMultiplicity: 1}
 	s := NewScratch()
+	s.Grow(g.NumNodes())
 	for u := 0; u < g.NumNodes(); u++ {
 		CountStarPairNode(g, temporal.NodeID(u), delta, counts, s)
 	}

@@ -218,11 +218,11 @@ func TestCountRangePartition(t *testing.T) {
 
 	su := g.Seq(hub)
 	for trial := 0; trial < 10; trial++ {
-		cut1 := r.Intn(len(su) + 1)
-		cut2 := cut1 + r.Intn(len(su)+1-cut1)
+		cut1 := r.Intn(su.Len() + 1)
+		cut2 := cut1 + r.Intn(su.Len()+1-cut1)
 		parts := &motif.Counts{TriMultiplicity: 3}
 		s := NewScratch()
-		for _, rg := range [][2]int{{0, cut1}, {cut1, cut2}, {cut2, len(su)}} {
+		for _, rg := range [][2]int{{0, cut1}, {cut1, cut2}, {cut2, su.Len()}} {
 			CountStarPairRange(su, delta, parts, s, rg[0], rg[1])
 			CountTriRange(g, hub, delta, &parts.Tri, false, rg[0], rg[1])
 		}

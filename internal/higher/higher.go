@@ -103,28 +103,29 @@ func Count(g *temporal.Graph, delta temporal.Timestamp) Star4Counter {
 // center's sequence by direction pattern, with the push/pop sliding window
 // (cf. Paranjape's general counter, specialised to two classes and inlined
 // for the counter-adaptation the paper's future-work section sketches).
-func countAllTriples(seq []temporal.HalfEdge, delta temporal.Timestamp, out *[8]uint64) {
-	if len(seq) < 3 {
+func countAllTriples(seq temporal.Seq, delta temporal.Timestamp, out *[8]uint64) {
+	n := seq.Len()
+	if n < 3 {
 		return
 	}
+	times, outs := seq.Time, seq.Out
 	var c1 [2]uint64
 	var c2 [4]uint64
 	start := 0
-	for k, e := range seq {
-		for seq[start].Time < e.Time-delta {
-			x := seq[start].Dir()
+	for k := 0; k < n; k++ {
+		for times[start] < times[k]-delta {
+			x := int(motif.DirOf(outs[start]))
 			c1[x]--
 			c2[x<<1|0] -= c1[0]
 			c2[x<<1|1] -= c1[1]
 			start++
 		}
-		z := e.Dir()
+		z := int(motif.DirOf(outs[k]))
 		for xy := 0; xy < 4; xy++ {
 			out[xy<<1|z] += c2[xy]
 		}
 		c2[0<<1|z] += c1[0]
 		c2[1<<1|z] += c1[1]
 		c1[z]++
-		_ = k
 	}
 }

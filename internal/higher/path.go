@@ -160,29 +160,34 @@ func (c *PathCounter) Labels() []struct {
 // higher-order family, per the paper's §VI.
 func CountPaths(g *temporal.Graph, delta temporal.Timestamp) PathCounter {
 	var out PathCounter
-	edges := g.Edges()
-	for id := range edges {
-		m := edges[id]
+	src, dst, ts := g.Src(), g.Dst(), g.Times()
+	for id := range ts {
 		mid := temporal.EdgeID(id)
-		b, c := m.From, m.To
-		for _, f := range windowAround(g.Seq(b), m.Time, delta) {
-			if f.ID == mid || f.Other == c {
+		b, c := src[id], dst[id]
+		mt := ts[id]
+		fw := windowAround(g.Seq(b), mt, delta)
+		gw := windowAround(g.Seq(c), mt, delta)
+		for fi := 0; fi < fw.Len(); fi++ {
+			fID, fOther := fw.ID[fi], fw.Other[fi]
+			if fID == mid || fOther == c {
 				continue // multi-edge on the middle pair: not a path
 			}
-			for _, gEdge := range windowAround(g.Seq(c), m.Time, delta) {
-				if gEdge.ID == mid || gEdge.Other == b || gEdge.Other == f.Other {
+			fTime, fOut := fw.Time[fi], fw.Out[fi]
+			for gi := 0; gi < gw.Len(); gi++ {
+				gID, gOther := gw.ID[gi], gw.Other[gi]
+				if gID == mid || gOther == b || gOther == fOther {
 					continue // triangle or repeated node: not a path
 				}
-				if span3(f.Time, m.Time, gEdge.Time) > delta {
+				if span3(fTime, mt, gw.Time[gi]) > delta {
 					continue
 				}
 				// Temporal ranks by EdgeID (total order).
-				rankF, rankM, rankG := ranks(f.ID, mid, gEdge.ID)
+				rankF, rankM, rankG := ranks(fID, mid, gID)
 				// Directions along a→b→c→d: f forward means a→b, i.e. f
 				// points *into* b; m forward means b→c (always true for
 				// the stored orientation); g forward means c→d, i.e. g
 				// points *out of* c.
-				out[CanonicalPath(rankF, rankM, rankG, !f.Out, true, gEdge.Out)]++
+				out[CanonicalPath(rankF, rankM, rankG, !fOut, true, gw.Out[gi])]++
 			}
 		}
 	}
@@ -190,20 +195,10 @@ func CountPaths(g *temporal.Graph, delta temporal.Timestamp) PathCounter {
 }
 
 // windowAround returns the half-edges with |t − center| ≤ δ.
-func windowAround(seq []temporal.HalfEdge, center temporal.Timestamp, delta temporal.Timestamp) []temporal.HalfEdge {
-	lo, hi := 0, len(seq)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if seq[mid].Time < center-delta {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	start := lo
-	for hi = start; hi < len(seq) && seq[hi].Time <= center+delta; hi++ {
-	}
-	return seq[start:hi]
+func windowAround(seq temporal.Seq, center temporal.Timestamp, delta temporal.Timestamp) temporal.Seq {
+	start := seq.LowerBoundTime(center - delta)
+	end := seq.UpperBoundTime(center + delta)
+	return seq.Slice(start, end)
 }
 
 func span3(a, b, c temporal.Timestamp) temporal.Timestamp {

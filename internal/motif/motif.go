@@ -28,6 +28,15 @@ func (d Dir) String() string {
 // Flip returns the direction seen from the other endpoint.
 func (d Dir) Flip() Dir { return d ^ 1 }
 
+// DirOf maps a half-edge outward flag to its direction index — the one
+// conversion shared by the batch and stream counting kernels.
+func DirOf(out bool) Dir {
+	if out {
+		return Out
+	}
+	return In
+}
+
 // StarType is the position of the isolated edge in a star motif (paper
 // Fig. 3): Star-I isolated first, Star-II isolated second, Star-III isolated
 // third.

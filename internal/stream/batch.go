@@ -110,9 +110,9 @@ func (c *Counter) AddBatch(edges []temporal.Edge) error {
 		for _, ref := range buckets[w] {
 			r := recs[ref>>1]
 			if ref&1 == 0 {
-				c.window(r.u).push(temporal.HalfEdge{ID: r.id, Time: r.t, Other: r.v, Out: true})
+				c.window(r.u).push(r.id, r.t, r.v, true)
 			} else {
-				c.window(r.v).push(temporal.HalfEdge{ID: r.id, Time: r.t, Other: r.u, Out: false})
+				c.window(r.v).push(r.id, r.t, r.u, false)
 			}
 		}
 	})

@@ -52,10 +52,10 @@ func (s *scratch) shed(pop int) {
 
 // countArrival tallies every motif instance completed by the edge
 // (id, u->v, t): the arriving edge is the chronologically last edge of each
-// instance. uw and vw are the endpoints' δ-windows as of the arrival —
-// edges with ID < id and Time >= t-δ. Returns the scratch population for
-// shed accounting.
-func (s *scratch) countArrival(counts *motif.Counts, uw, vw []temporal.HalfEdge, u, v temporal.NodeID) int {
+// instance. uw and vw are columnar views of the endpoints' δ-windows as of
+// the arrival — edges with ID < id and Time >= t-δ. Returns the scratch
+// population for shed accounting.
+func (s *scratch) countArrival(counts *motif.Counts, uw, vw temporal.Seq, u, v temporal.NodeID) int {
 	pop := s.scanStarPair(counts, uw, v, true)
 	if p := s.scanStarPair(counts, vw, u, false); p > pop {
 		pop = p
@@ -72,7 +72,7 @@ func (s *scratch) countArrival(counts *motif.Counts, uw, vw []temporal.HalfEdge,
 // Every such instance was counted at arrival time (all three edges span
 // <= δ), so subtracting these tallies retires exactly the instances that
 // drop out of the sliding window. Returns the scratch population.
-func (s *scratch) countRetire(counts *motif.Counts, uw, vw []temporal.HalfEdge, u, v temporal.NodeID) int {
+func (s *scratch) countRetire(counts *motif.Counts, uw, vw temporal.Seq, u, v temporal.NodeID) int {
 	pop := s.retireStarPair(counts, uw, v, true)
 	if p := s.retireStarPair(counts, vw, u, false); p > pop {
 		pop = p
@@ -91,20 +91,18 @@ func (s *scratch) countRetire(counts *motif.Counts, uw, vw []temporal.HalfEdge, 
 // middle edge e2, the number of valid first edges of each class is known
 // from the running counters, split by whether the first edge goes to the
 // same neighbor as e2 / as the arriving edge.
-func (s *scratch) scanStarPair(counts *motif.Counts, win []temporal.HalfEdge, other temporal.NodeID, out bool) int {
-	if len(win) < 2 {
+func (s *scratch) scanStarPair(counts *motif.Counts, win temporal.Seq, other temporal.NodeID, out bool) int {
+	if win.Len() < 2 {
 		return 0
 	}
-	d3 := motif.In
-	if out {
-		d3 = motif.Out
-	}
+	d3 := motif.DirOf(out)
 	clear(s.runIn)
 	clear(s.runOut)
 	var nIn, nOut uint64
-	for _, e2 := range win {
-		d2 := motif.Dir(e2.Dir())
-		if e2.Other == other {
+	for i := 0; i < win.Len(); i++ {
+		e2Other, e2Out := win.Other[i], win.Out[i]
+		d2 := motif.DirOf(e2Out)
+		if e2Other == other {
 			// e2 pairs with the arriving edge (both to `other`): a first
 			// edge to `other` completes a 2-node pair; elsewhere it is the
 			// isolated first edge of a Star-I.
@@ -117,16 +115,16 @@ func (s *scratch) scanStarPair(counts *motif.Counts, win []temporal.HalfEdge, ot
 			// e2 goes to some n != other: a first edge to n pairs with e2
 			// (Star-III); a first edge to `other` pairs with the arriving
 			// edge (Star-II).
-			counts.Star[motif.StarIndex(motif.StarIII, motif.In, d2, d3)] += s.runIn[e2.Other]
-			counts.Star[motif.StarIndex(motif.StarIII, motif.Out, d2, d3)] += s.runOut[e2.Other]
+			counts.Star[motif.StarIndex(motif.StarIII, motif.In, d2, d3)] += s.runIn[e2Other]
+			counts.Star[motif.StarIndex(motif.StarIII, motif.Out, d2, d3)] += s.runOut[e2Other]
 			counts.Star[motif.StarIndex(motif.StarII, motif.In, d2, d3)] += s.runIn[other]
 			counts.Star[motif.StarIndex(motif.StarII, motif.Out, d2, d3)] += s.runOut[other]
 		}
-		if e2.Out {
-			s.runOut[e2.Other]++
+		if e2Out {
+			s.runOut[e2Other]++
 			nOut++
 		} else {
-			s.runIn[e2.Other]++
+			s.runIn[e2Other]++
 			nIn++
 		}
 	}
@@ -139,20 +137,18 @@ func (s *scratch) scanStarPair(counts *motif.Counts, win []temporal.HalfEdge, ot
 // treating each window edge as the last edge e3, with running totals over
 // the middle-edge candidates seen so far — the same loop shape as batch
 // FAST's Algorithm 1 inner loop with the retiring edge as e1.
-func (s *scratch) retireStarPair(counts *motif.Counts, win []temporal.HalfEdge, other temporal.NodeID, out bool) int {
-	if len(win) < 2 {
+func (s *scratch) retireStarPair(counts *motif.Counts, win temporal.Seq, other temporal.NodeID, out bool) int {
+	if win.Len() < 2 {
 		return 0
 	}
-	d1 := motif.In
-	if out {
-		d1 = motif.Out
-	}
+	d1 := motif.DirOf(out)
 	clear(s.runIn)
 	clear(s.runOut)
 	var nIn, nOut uint64
-	for _, e3 := range win {
-		d3 := motif.Dir(e3.Dir())
-		if e3.Other == other {
+	for i := 0; i < win.Len(); i++ {
+		e3Other, e3Out := win.Other[i], win.Out[i]
+		d3 := motif.DirOf(e3Out)
+		if e3Other == other {
 			// e3 pairs with the retiring edge (both to `other`): a middle
 			// edge to `other` makes the triple a 2-node pair; elsewhere the
 			// middle edge is isolated (Star-II).
@@ -165,16 +161,16 @@ func (s *scratch) retireStarPair(counts *motif.Counts, win []temporal.HalfEdge, 
 			// e3 goes to some n != other: a middle edge to n pairs with e3
 			// (Star-I); a middle edge to `other` pairs with the retiring
 			// edge (Star-III).
-			counts.Star[motif.StarIndex(motif.StarI, d1, motif.In, d3)] += s.runIn[e3.Other]
-			counts.Star[motif.StarIndex(motif.StarI, d1, motif.Out, d3)] += s.runOut[e3.Other]
+			counts.Star[motif.StarIndex(motif.StarI, d1, motif.In, d3)] += s.runIn[e3Other]
+			counts.Star[motif.StarIndex(motif.StarI, d1, motif.Out, d3)] += s.runOut[e3Other]
 			counts.Star[motif.StarIndex(motif.StarIII, d1, motif.In, d3)] += s.runIn[other]
 			counts.Star[motif.StarIndex(motif.StarIII, d1, motif.Out, d3)] += s.runOut[other]
 		}
-		if e3.Out {
-			s.runOut[e3.Other]++
+		if e3Out {
+			s.runOut[e3Other]++
 			nOut++
 		} else {
-			s.runIn[e3.Other]++
+			s.runIn[e3Other]++
 			nIn++
 		}
 	}
@@ -193,21 +189,23 @@ func (s *scratch) retireStarPair(counts *motif.Counts, win []temporal.HalfEdge, 
 // the cumulative ones: di/dj are the center-incident edges' directions in
 // chronological order, dk the last edge's direction relative to the first
 // edge's far endpoint.
-func (s *scratch) joinTriangles(tri *motif.TriCounter, arrival bool, uWin, vWin []temporal.HalfEdge) int {
-	if len(uWin) == 0 || len(vWin) == 0 {
+func (s *scratch) joinTriangles(tri *motif.TriCounter, arrival bool, uWin, vWin temporal.Seq) int {
+	if uWin.Len() == 0 || vWin.Len() == 0 {
 		return 0
 	}
 	// Hash the smaller window by shared neighbor, scan the larger.
 	swapped := false
-	if len(uWin) > len(vWin) {
+	if uWin.Len() > vWin.Len() {
 		uWin, vWin = vWin, uWin
 		swapped = true
 	}
 	clear(s.nbrJoin)
-	for _, a := range uWin {
+	for i := 0; i < uWin.Len(); i++ {
+		a := uWin.At(i)
 		s.nbrJoin[a.Other] = append(s.nbrJoin[a.Other], a)
 	}
-	for _, b := range vWin {
+	for i := 0; i < vWin.Len(); i++ {
+		b := vWin.At(i)
 		for _, a := range s.nbrJoin[b.Other] {
 			aw, bw := a, b // aw is u<->w, bw is v<->w (pre-swap orientation)
 			if swapped {

@@ -202,8 +202,8 @@ func (c *Counter) addValidated(u, v temporal.NodeID, t temporal.Timestamp) {
 	pop := c.kern.countArrival(&c.counts, uw, vw, u, v)
 	c.kern.shed(pop)
 
-	wu.push(temporal.HalfEdge{ID: id, Time: t, Other: v, Out: true})
-	wv.push(temporal.HalfEdge{ID: id, Time: t, Other: u, Out: false})
+	wu.push(id, t, v, true)
+	wv.push(id, t, u, false)
 	wu.trim(cutoff)
 	wv.trim(cutoff)
 	if c.opts.Mode == Sliding {

@@ -144,11 +144,11 @@ func TestStreamWindowTrim(t *testing.T) {
 		}
 	}
 	w := c.peek(0)
-	if live := len(w.edges[w.head:]); live > 2 {
+	if live := w.live().Len(); live > 2 {
 		t.Fatalf("window kept %d live edges, want <= 2", live)
 	}
-	if len(w.edges) > 64 {
-		t.Fatalf("backing array not compacted: %d", len(w.edges))
+	if len(w.id) > 64 {
+		t.Fatalf("backing columns not compacted: %d", len(w.id))
 	}
 	// Widely spaced edges produce no motifs.
 	m := c.Matrix()

@@ -1,0 +1,184 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// hubGraph builds a hub-skewed graph: a few hub nodes participate in most
+// edges, stressing long per-node spans and big per-pair groups.
+func hubGraph(r *rand.Rand, hubs, leaves, edges int, span Timestamp) *Graph {
+	b := NewBuilder(edges)
+	for i := 0; i < edges; i++ {
+		hub := NodeID(r.Intn(hubs))
+		other := NodeID(hubs + r.Intn(leaves))
+		if r.Intn(4) == 0 { // occasional hub-hub multi-edges
+			other = NodeID(r.Intn(hubs))
+		}
+		t := Timestamp(r.Int63n(int64(span)))
+		if r.Intn(2) == 0 {
+			_ = b.AddEdge(hub, other, t)
+		} else {
+			_ = b.AddEdge(other, hub, t)
+		}
+	}
+	return b.Build()
+}
+
+// refSeqs independently derives every node's expected incident sequence from
+// a raw edge list, replaying the Builder contract from first principles:
+// drop self-loops, stable-sort by timestamp (ties keep input order), then
+// append each edge's two half-edges in sorted order.
+func refSeqs(edges []Edge, numNodes int) [][]HalfEdge {
+	type rec struct {
+		e   Edge
+		pos int
+	}
+	recs := make([]rec, 0, len(edges))
+	for i, e := range edges {
+		if e.From == e.To {
+			continue
+		}
+		recs = append(recs, rec{e, i})
+	}
+	// Insertion sort by (Time, input position): an intentionally independent
+	// (and obviously stable) reimplementation of the sort under test.
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := recs[j-1], recs[j]
+			if b.e.Time < a.e.Time || (b.e.Time == a.e.Time && b.pos < a.pos) {
+				recs[j-1], recs[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	seqs := make([][]HalfEdge, numNodes)
+	for id, r := range recs {
+		e := r.e
+		seqs[e.From] = append(seqs[e.From], HalfEdge{ID: EdgeID(id), Time: e.Time, Other: e.To, Out: true})
+		seqs[e.To] = append(seqs[e.To], HalfEdge{ID: EdgeID(id), Time: e.Time, Other: e.From, Out: false})
+	}
+	return seqs
+}
+
+// checkCSRInvariants asserts, for every node, that the CSR span is
+// timestamp-sorted with ties in input (EdgeID) order and exactly equals the
+// independently derived reference, and that every per-pair group is the
+// EdgeID-ordered filter of the owner's sequence.
+func checkCSRInvariants(t *testing.T, g *Graph, rawEdges []Edge) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	want := refSeqs(rawEdges, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		seq := g.Seq(NodeID(u))
+		if seq.Len() != len(want[u]) {
+			t.Fatalf("node %d: |S_u| = %d, want %d", u, seq.Len(), len(want[u]))
+		}
+		for i := 0; i < seq.Len(); i++ {
+			if i > 0 {
+				if seq.Time[i] < seq.Time[i-1] {
+					t.Fatalf("node %d: S_u not timestamp-sorted at %d", u, i)
+				}
+				if seq.ID[i] <= seq.ID[i-1] {
+					t.Fatalf("node %d: tie not broken by input order at %d", u, i)
+				}
+			}
+			if seq.At(i) != want[u][i] {
+				t.Fatalf("node %d: S_u[%d] = %+v, want %+v", u, i, seq.At(i), want[u][i])
+			}
+		}
+		// Per-pair groups must partition S_u: the concatenation of
+		// Between(u, w) over the distinct neighbors, each EdgeID-sorted,
+		// reorders S_u without loss, and each group equals the filter of
+		// S_u by that neighbor.
+		total := 0
+		for _, w := range g.Neighbors(NodeID(u)) {
+			grp := g.Between(NodeID(u), w)
+			total += grp.Len()
+			k := 0
+			for i := 0; i < seq.Len(); i++ {
+				if seq.Other[i] != w {
+					continue
+				}
+				if k >= grp.Len() || grp.At(k) != seq.At(i) {
+					t.Fatalf("node %d: E(%d,%d) differs from the S_u filter at %d", u, u, w, k)
+				}
+				k++
+			}
+			if k != grp.Len() {
+				t.Fatalf("node %d: E(%d,%d) has %d extra entries", u, u, w, grp.Len()-k)
+			}
+		}
+		if total != seq.Len() {
+			t.Fatalf("node %d: groups cover %d of %d half-edges", u, total, seq.Len())
+		}
+	}
+}
+
+func TestCSRInvariantsRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 30; trial++ {
+		nodes := 2 + r.Intn(25)
+		nEdges := r.Intn(300)
+		span := Timestamp(1 + r.Intn(20)) // small span: heavy timestamp ties
+		edges := make([]Edge, 0, nEdges)
+		for i := 0; i < nEdges; i++ {
+			edges = append(edges, Edge{
+				From: NodeID(r.Intn(nodes)),
+				To:   NodeID(r.Intn(nodes)), // self-loops included on purpose
+				Time: Timestamp(r.Int63n(int64(span))),
+			})
+		}
+		checkCSRInvariants(t, FromEdges(edges), edges)
+	}
+}
+
+func TestCSRInvariantsHubSkewed(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		g := hubGraph(r, 2, 30, 400, 25)
+		checkCSRInvariants(t, g, g.Edges())
+	}
+}
+
+func TestColumnsMatchEdgeAccessors(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := hubGraph(r, 3, 20, 200, 50)
+	src, dst, ts := g.Src(), g.Dst(), g.Times()
+	if len(src) != g.NumEdges() || len(dst) != g.NumEdges() || len(ts) != g.NumEdges() {
+		t.Fatalf("column lengths %d/%d/%d, want %d", len(src), len(dst), len(ts), g.NumEdges())
+	}
+	edges := g.Edges()
+	for i := range edges {
+		if e := g.Edge(EdgeID(i)); e != edges[i] {
+			t.Fatalf("Edge(%d) = %v, Edges()[%d] = %v", i, e, i, edges[i])
+		}
+		if src[i] != edges[i].From || dst[i] != edges[i].To || ts[i] != edges[i].Time {
+			t.Fatalf("columns diverge from Edges() at %d", i)
+		}
+	}
+}
+
+func TestNeighborsSortedDistinct(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	g := hubGraph(r, 2, 15, 300, 40)
+	for u := 0; u < g.NumNodes(); u++ {
+		ns := g.Neighbors(NodeID(u))
+		if len(ns) != g.NeighborCount(NodeID(u)) {
+			t.Fatalf("node %d: NeighborCount mismatch", u)
+		}
+		for i := 1; i < len(ns); i++ {
+			if ns[i] <= ns[i-1] {
+				t.Fatalf("node %d: neighbors not strictly ascending", u)
+			}
+		}
+		for _, w := range ns {
+			if g.Between(NodeID(u), w).Len() == 0 {
+				t.Fatalf("node %d: neighbor %d has empty pair group", u, w)
+			}
+		}
+	}
+}

@@ -61,3 +61,75 @@ func (h HalfEdge) Dir() int {
 	}
 	return 0
 }
+
+// Seq is a columnar (struct-of-arrays) view of a chronologically ordered
+// half-edge sequence: four parallel slices, one per HalfEdge field, all the
+// same length. Hot loops iterate the columns directly; cold paths can use
+// At. A Seq aliases the graph's (or window's) backing arrays — callers must
+// not modify the slices, and a view into mutable storage (package stream's
+// windows) is invalidated by the owner's next mutation.
+//
+// Entries are sorted by EdgeID, which for graph-backed views means sorted by
+// timestamp with ties broken by input order.
+type Seq struct {
+	ID    []EdgeID
+	Time  []Timestamp
+	Other []NodeID
+	Out   []bool
+}
+
+// Len returns the number of half-edges in the view.
+func (s Seq) Len() int { return len(s.ID) }
+
+// At gathers the i-th half-edge from the columns.
+func (s Seq) At(i int) HalfEdge {
+	return HalfEdge{ID: s.ID[i], Time: s.Time[i], Other: s.Other[i], Out: s.Out[i]}
+}
+
+// Slice returns the sub-view [lo, hi).
+func (s Seq) Slice(lo, hi int) Seq {
+	return Seq{ID: s.ID[lo:hi], Time: s.Time[lo:hi], Other: s.Other[lo:hi], Out: s.Out[lo:hi]}
+}
+
+// After returns the suffix with EdgeID strictly greater than id (binary
+// search; the view is EdgeID-sorted).
+func (s Seq) After(id EdgeID) Seq {
+	lo, hi := 0, len(s.ID)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.ID[mid] <= id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return s.Slice(lo, s.Len())
+}
+
+// LowerBoundTime returns the first index with Time >= t (== Len() when none).
+func (s Seq) LowerBoundTime(t Timestamp) int {
+	lo, hi := 0, len(s.Time)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.Time[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// UpperBoundTime returns the first index with Time > t (== Len() when none).
+func (s Seq) UpperBoundTime(t Timestamp) int {
+	lo, hi := 0, len(s.Time)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.Time[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -39,8 +39,8 @@ func TestSparseNodeIDs(t *testing.T) {
 	if g.Degree(500) != 0 {
 		t.Fatal("untouched node should have degree 0")
 	}
-	if g.Seq(500) != nil {
-		t.Fatal("untouched node should have nil sequence")
+	if g.Seq(500).Len() != 0 {
+		t.Fatal("untouched node should have an empty sequence")
 	}
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)

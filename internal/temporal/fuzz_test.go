@@ -1,0 +1,64 @@
+package temporal
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzParseEdgeLine exercises the shared edge-line grammar used by both the
+// batch loader and the stream feeder. Invariants:
+//
+//   - never panics, for any input and either separator mode;
+//   - skip is reported exactly for blank and '#'/'%' comment lines;
+//   - a successfully parsed line round-trips: re-serialising (u, v, t) in
+//     the canonical "u v t" form parses back to the same values;
+//   - error and skip are mutually exclusive with a parsed edge.
+func FuzzParseEdgeLine(f *testing.F) {
+	seeds := []struct {
+		line  string
+		comma bool
+	}{
+		{"1 2 3", false},
+		{"0 0 0", false},
+		{" 10\t20  30 ", false},
+		{"# comment", false},
+		{"% matrix-market comment", false},
+		{"", false},
+		{"1,2,3", true},
+		{"1,2,3,extra", true},
+		{"4 5 6 7 8", false},
+		{"-1 -2 -3", false},
+		{"9223372036854775807 1 9223372036854775807", false},
+		{"9223372036854775808 1 2", false}, // int64 overflow
+		{"a b c", false},
+		{"1 2", false},
+		{"\x00\x01\x02", false},
+		{"7\u00a08\u00a09", false}, // unicode spaces separate fields too
+	}
+	for _, s := range seeds {
+		f.Add(s.line, s.comma)
+	}
+	f.Fuzz(func(t *testing.T, line string, comma bool) {
+		e, skip, err := ParseEdgeLine(line, comma)
+		trimmed := strings.TrimSpace(line)
+		wantSkip := trimmed == "" || trimmed[0] == '#' || trimmed[0] == '%'
+		if skip != wantSkip {
+			t.Fatalf("skip = %v for %q, want %v", skip, line, wantSkip)
+		}
+		if skip || err != nil {
+			if e != (EdgeLine{}) {
+				t.Fatalf("non-zero edge %+v alongside skip=%v err=%v", e, skip, err)
+			}
+			return
+		}
+		canon := fmt.Sprintf("%d %d %d", e.U, e.V, e.T)
+		e2, skip2, err2 := ParseEdgeLine(canon, comma)
+		if skip2 || err2 != nil {
+			t.Fatalf("canonical form %q failed: skip=%v err=%v", canon, skip2, err2)
+		}
+		if e2 != e {
+			t.Fatalf("round trip changed %q: %+v -> %+v", line, e, e2)
+		}
+	})
+}

@@ -3,24 +3,58 @@ package temporal
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
-// Graph is an immutable directed temporal multigraph.
+// Graph is an immutable directed temporal multigraph in a columnar
+// (struct-of-arrays) CSR layout.
 //
-// Edges are stored sorted by (Time, insertion order); the index of an edge in
-// that order is its EdgeID. For every node the graph keeps the incident edge
-// sequence S_u (sorted by EdgeID) and a neighbor index that yields E(v,w),
-// the chronologically sorted multi-edges between two nodes.
+// Edges are stored as three parallel columns src[]/dst[]/ts[] sorted by
+// (Time, insertion order); the index of an edge in that order is its EdgeID.
+// Two derived indexes cover the access patterns of the counting algorithms:
+//
+//   - a CSR incident index: for every node u the half-edges of S_u — u's
+//     incident edges in EdgeID (chronological, input-order tie-broken) order —
+//     live in one contiguous span of four parallel columns, addressed by
+//     incOff[u] : incOff[u+1];
+//   - a grouped per-pair index: the same half-edges re-sorted stably by
+//     (owner, neighbor), so E(v,w) — the multi-edges between two nodes,
+//     EdgeID-sorted — is one contiguous span located by binary search over
+//     v's sorted distinct-neighbor keys.
+//
+// Hot loops iterate the column slices directly via the Seq views returned by
+// Seq and Between; no per-node pointers or maps are touched after Build.
 //
 // A Graph is safe for concurrent readers.
 type Graph struct {
-	edges []Edge       // sorted by (Time, original order)
-	seq   [][]HalfEdge // seq[u] = S_u, sorted by EdgeID
-	// nbrIndex[v] maps a neighbor w to the slice of v's half-edges whose
-	// Other == w, sorted by EdgeID. Shared backing with pairStore.
-	nbrIndex  []map[NodeID][]HalfEdge
+	src []NodeID    // src[id] = source node of edge id
+	dst []NodeID    // dst[id] = destination node
+	ts  []Timestamp // ts[id] = timestamp, non-decreasing in id
+
+	// CSR incident index: columns of S_u spans.
+	incOff   []int // n+1 offsets into the inc columns
+	incID    []EdgeID
+	incTime  []Timestamp
+	incOther []NodeID
+	incOut   []bool
+
+	// Grouped per-pair index: the incident half-edges of each node re-sorted
+	// stably by neighbor. Group i (a (node, neighbor) pair) spans
+	// grp*[grpOff[i]:grpOff[i+1]]; node u owns groups nbrOff[u]:nbrOff[u+1]
+	// whose neighbor keys nbrKey are ascending, enabling binary search.
+	nbrOff   []int // n+1 offsets into nbrKey / grpOff
+	nbrKey   []NodeID
+	grpOff   []int // len(nbrKey)+1 offsets into the grp columns
+	grpID    []EdgeID
+	grpTime  []Timestamp
+	grpOther []NodeID
+	grpOut   []bool
+
 	numNodes  int
 	selfLoops int // self-loops dropped at build time
+
+	edgesOnce sync.Once
+	edgesAoS  []Edge // lazily materialised row-major copy for cold paths
 }
 
 // NumNodes returns the number of nodes (the node ID space is [0, NumNodes)).
@@ -28,54 +62,117 @@ func (g *Graph) NumNodes() int { return g.numNodes }
 
 // NumEdges returns the number of temporal edges (excluding dropped
 // self-loops).
-func (g *Graph) NumEdges() int { return len(g.edges) }
+func (g *Graph) NumEdges() int { return len(g.ts) }
 
 // SelfLoopsDropped reports how many self-loop edges were discarded when the
 // graph was built. δ-temporal motifs never contain self-loops.
 func (g *Graph) SelfLoopsDropped() int { return g.selfLoops }
 
-// Edges returns the chronologically sorted edge list. The caller must not
+// Src returns the source-node column, indexed by EdgeID. The caller must not
 // modify it.
-func (g *Graph) Edges() []Edge { return g.edges }
+func (g *Graph) Src() []NodeID { return g.src }
+
+// Dst returns the destination-node column, indexed by EdgeID. The caller
+// must not modify it.
+func (g *Graph) Dst() []NodeID { return g.dst }
+
+// Times returns the timestamp column, indexed by EdgeID and non-decreasing.
+// The caller must not modify it.
+func (g *Graph) Times() []Timestamp { return g.ts }
+
+// Edges returns the chronologically sorted edge list as a row-major slice.
+// The columnar storage is authoritative; the slice is materialised lazily on
+// first call and cached (cold-path convenience — hot paths should read the
+// Src/Dst/Times columns). The caller must not modify it.
+func (g *Graph) Edges() []Edge {
+	g.edgesOnce.Do(func() {
+		if len(g.ts) == 0 {
+			return
+		}
+		g.edgesAoS = make([]Edge, len(g.ts))
+		for i := range g.edgesAoS {
+			g.edgesAoS[i] = Edge{From: g.src[i], To: g.dst[i], Time: g.ts[i]}
+		}
+	})
+	return g.edgesAoS
+}
 
 // Edge returns the edge with the given ID.
-func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+func (g *Graph) Edge(id EdgeID) Edge {
+	return Edge{From: g.src[id], To: g.dst[id], Time: g.ts[id]}
+}
 
-// Seq returns S_u: node u's incident edges in chronological (EdgeID) order.
-// Out-of-range nodes yield nil. The caller must not modify the result.
-func (g *Graph) Seq(u NodeID) []HalfEdge {
-	if u < 0 || int(u) >= len(g.seq) {
-		return nil
+// Seq returns S_u: node u's incident edges in chronological (EdgeID) order,
+// as a columnar view. Out-of-range nodes yield an empty view. The caller
+// must not modify the underlying columns.
+func (g *Graph) Seq(u NodeID) Seq {
+	if u < 0 || int(u) >= g.numNodes {
+		return Seq{}
 	}
-	return g.seq[u]
+	lo, hi := g.incOff[u], g.incOff[u+1]
+	return Seq{
+		ID:    g.incID[lo:hi],
+		Time:  g.incTime[lo:hi],
+		Other: g.incOther[lo:hi],
+		Out:   g.incOut[lo:hi],
+	}
 }
 
 // Degree returns the temporal degree of u, i.e. len(S_u); a multi-edge
 // contributes once per occurrence. Out-of-range nodes have degree 0.
 func (g *Graph) Degree(u NodeID) int {
-	if u < 0 || int(u) >= len(g.seq) {
+	if u < 0 || int(u) >= g.numNodes {
 		return 0
 	}
-	return len(g.seq[u])
+	return g.incOff[u+1] - g.incOff[u]
 }
 
 // Between returns E(v,w): every edge between v and w in either direction,
 // sorted by EdgeID, with Out recorded relative to v (Out == true means
-// v -> w). Returns nil when no edge exists. The caller must not modify it.
-func (g *Graph) Between(v, w NodeID) []HalfEdge {
-	if int(v) >= len(g.nbrIndex) {
+// v -> w). Returns an empty view when no edge exists.
+func (g *Graph) Between(v, w NodeID) Seq {
+	if v < 0 || int(v) >= g.numNodes {
+		return Seq{}
+	}
+	lo, hi := g.nbrOff[v], g.nbrOff[v+1]
+	keys := g.nbrKey[lo:hi]
+	i := sort.Search(len(keys), func(k int) bool { return keys[k] >= w })
+	if i == len(keys) || keys[i] != w {
+		return Seq{}
+	}
+	a, b := g.grpOff[lo+i], g.grpOff[lo+i+1]
+	return Seq{
+		ID:    g.grpID[a:b],
+		Time:  g.grpTime[a:b],
+		Other: g.grpOther[a:b],
+		Out:   g.grpOut[a:b],
+	}
+}
+
+// Neighbors returns u's distinct static neighbors in ascending order. The
+// caller must not modify the result.
+func (g *Graph) Neighbors(u NodeID) []NodeID {
+	if u < 0 || int(u) >= g.numNodes {
 		return nil
 	}
-	return g.nbrIndex[v][w]
+	return g.nbrKey[g.nbrOff[u]:g.nbrOff[u+1]]
+}
+
+// NeighborCount returns the number of distinct static neighbors of u.
+func (g *Graph) NeighborCount(u NodeID) int {
+	if u < 0 || int(u) >= g.numNodes {
+		return 0
+	}
+	return g.nbrOff[u+1] - g.nbrOff[u]
 }
 
 // TimeSpan returns the minimum and maximum timestamps. ok is false for an
 // empty graph.
 func (g *Graph) TimeSpan() (min, max Timestamp, ok bool) {
-	if len(g.edges) == 0 {
+	if len(g.ts) == 0 {
 		return 0, 0, false
 	}
-	return g.edges[0].Time, g.edges[len(g.edges)-1].Time, true
+	return g.ts[0], g.ts[len(g.ts)-1], true
 }
 
 // Builder accumulates edges and produces an immutable Graph.
@@ -115,52 +212,92 @@ func (b *Builder) AddEdge(u, v NodeID, t Timestamp) error {
 func (b *Builder) Len() int { return len(b.edges) }
 
 // Build finalises the graph: stable-sorts edges by time (assigning EdgeIDs),
-// builds per-node sequences and the neighbor index. The Builder must not be
-// reused afterwards.
+// scatters them into the src/dst/ts columns, and builds the CSR incident and
+// grouped per-pair indexes. The Builder must not be reused afterwards.
 func (b *Builder) Build() *Graph {
 	edges := b.edges
 	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Time < edges[j].Time })
 
+	m := len(edges)
 	n := 0
-	if len(edges) > 0 || b.maxNode > 0 {
+	if m > 0 || b.maxNode > 0 {
 		n = int(b.maxNode) + 1
 	}
-	g := &Graph{
-		edges:     edges,
-		numNodes:  n,
-		selfLoops: b.selfLoops,
-	}
+	g := &Graph{numNodes: n, selfLoops: b.selfLoops}
 
-	// Per-node degree counting, then one backing array per node to keep
-	// allocation count low on large graphs.
-	deg := make([]int32, n)
-	for _, e := range edges {
-		deg[e.From]++
-		deg[e.To]++
-	}
-	g.seq = make([][]HalfEdge, n)
-	for u := range g.seq {
-		if deg[u] > 0 {
-			g.seq[u] = make([]HalfEdge, 0, deg[u])
-		}
-	}
+	g.src = make([]NodeID, m)
+	g.dst = make([]NodeID, m)
+	g.ts = make([]Timestamp, m)
 	for i, e := range edges {
-		id := EdgeID(i)
-		g.seq[e.From] = append(g.seq[e.From], HalfEdge{ID: id, Time: e.Time, Other: e.To, Out: true})
-		g.seq[e.To] = append(g.seq[e.To], HalfEdge{ID: id, Time: e.Time, Other: e.From, Out: false})
+		g.src[i], g.dst[i], g.ts[i] = e.From, e.To, e.Time
 	}
 
-	g.nbrIndex = make([]map[NodeID][]HalfEdge, n)
-	for u := range g.nbrIndex {
-		if len(g.seq[u]) == 0 {
-			continue
-		}
-		m := make(map[NodeID][]HalfEdge)
-		for _, h := range g.seq[u] {
-			m[h.Other] = append(m[h.Other], h)
-		}
-		g.nbrIndex[u] = m
+	// CSR incident index: count, prefix-sum, scatter. Scattering in EdgeID
+	// order leaves every per-node span EdgeID-sorted — i.e. timestamp-sorted
+	// with input-order tie-breaking, inherited from the stable sort above.
+	h := 2 * m
+	g.incOff = make([]int, n+1)
+	for i := 0; i < m; i++ {
+		g.incOff[g.src[i]+1]++
+		g.incOff[g.dst[i]+1]++
 	}
+	for u := 0; u < n; u++ {
+		g.incOff[u+1] += g.incOff[u]
+	}
+	g.incID = make([]EdgeID, h)
+	g.incTime = make([]Timestamp, h)
+	g.incOther = make([]NodeID, h)
+	g.incOut = make([]bool, h)
+	cur := make([]int, n)
+	copy(cur, g.incOff[:n])
+	for i := 0; i < m; i++ {
+		id := EdgeID(i)
+		u, v, t := g.src[i], g.dst[i], g.ts[i]
+		p := cur[u]
+		cur[u]++
+		g.incID[p], g.incTime[p], g.incOther[p], g.incOut[p] = id, t, v, true
+		p = cur[v]
+		cur[v]++
+		g.incID[p], g.incTime[p], g.incOther[p], g.incOut[p] = id, t, u, false
+	}
+
+	// Grouped per-pair index: within each node's incident span, stably
+	// re-sort a permutation by neighbor (stability preserves EdgeID order
+	// inside each group), gather into the grp columns, then record group
+	// boundaries as (neighbor key, offset) pairs.
+	perm := make([]int32, h)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for u := 0; u < n; u++ {
+		span := perm[g.incOff[u]:g.incOff[u+1]]
+		sort.SliceStable(span, func(a, b int) bool {
+			return g.incOther[span[a]] < g.incOther[span[b]]
+		})
+	}
+	g.grpID = make([]EdgeID, h)
+	g.grpTime = make([]Timestamp, h)
+	g.grpOther = make([]NodeID, h)
+	g.grpOut = make([]bool, h)
+	for j, p := range perm {
+		g.grpID[j] = g.incID[p]
+		g.grpTime[j] = g.incTime[p]
+		g.grpOther[j] = g.incOther[p]
+		g.grpOut[j] = g.incOut[p]
+	}
+	g.nbrOff = make([]int, n+1)
+	for u := 0; u < n; u++ {
+		g.nbrOff[u] = len(g.nbrKey)
+		lo, hi := g.incOff[u], g.incOff[u+1]
+		for j := lo; j < hi; j++ {
+			if j == lo || g.grpOther[j] != g.grpOther[j-1] {
+				g.nbrKey = append(g.nbrKey, g.grpOther[j])
+				g.grpOff = append(g.grpOff, j)
+			}
+		}
+	}
+	g.nbrOff[n] = len(g.nbrKey)
+	g.grpOff = append(g.grpOff, h)
 	return g
 }
 
@@ -177,38 +314,90 @@ func FromEdges(edges []Edge) *Graph {
 // Validate performs internal-consistency checks (intended for tests and the
 // CLI's --check flag). It returns the first violation found.
 func (g *Graph) Validate() error {
-	for i := 1; i < len(g.edges); i++ {
-		if g.edges[i].Time < g.edges[i-1].Time {
+	m := len(g.ts)
+	if len(g.src) != m || len(g.dst) != m {
+		return fmt.Errorf("temporal: ragged edge columns (%d/%d/%d)", len(g.src), len(g.dst), m)
+	}
+	for i := 1; i < m; i++ {
+		if g.ts[i] < g.ts[i-1] {
 			return fmt.Errorf("temporal: edges out of order at id %d", i)
 		}
 	}
-	var halves int
-	for u, s := range g.seq {
-		for i, h := range s {
-			if i > 0 && h.ID <= s[i-1].ID {
-				return fmt.Errorf("temporal: S_%d out of EdgeID order at %d", u, i)
+	h := 2 * m
+	if len(g.incID) != h || len(g.incTime) != h || len(g.incOther) != h || len(g.incOut) != h {
+		return fmt.Errorf("temporal: ragged incident columns for %d edges", m)
+	}
+	if len(g.incOff) != g.numNodes+1 || g.incOff[0] != 0 || g.incOff[g.numNodes] != h {
+		return fmt.Errorf("temporal: malformed incident offsets")
+	}
+	for u := 0; u < g.numNodes; u++ {
+		lo, hi := g.incOff[u], g.incOff[u+1]
+		if lo > hi {
+			return fmt.Errorf("temporal: incident offsets decrease at node %d", u)
+		}
+		for j := lo; j < hi; j++ {
+			if j > lo && g.incID[j] <= g.incID[j-1] {
+				return fmt.Errorf("temporal: S_%d out of EdgeID order at %d", u, j-lo)
 			}
-			e := g.edges[h.ID]
+			id := g.incID[j]
+			if id < 0 || int(id) >= m {
+				return fmt.Errorf("temporal: S_%d references edge %d of %d", u, id, m)
+			}
+			if g.incTime[j] != g.ts[id] {
+				return fmt.Errorf("temporal: S_%d[%d] timestamp mismatch", u, j-lo)
+			}
 			switch {
-			case h.Out && (e.From != NodeID(u) || e.To != h.Other):
-				return fmt.Errorf("temporal: S_%d[%d] inconsistent outward half-edge", u, i)
-			case !h.Out && (e.To != NodeID(u) || e.From != h.Other):
-				return fmt.Errorf("temporal: S_%d[%d] inconsistent inward half-edge", u, i)
+			case g.incOut[j] && (g.src[id] != NodeID(u) || g.dst[id] != g.incOther[j]):
+				return fmt.Errorf("temporal: S_%d[%d] inconsistent outward half-edge", u, j-lo)
+			case !g.incOut[j] && (g.dst[id] != NodeID(u) || g.src[id] != g.incOther[j]):
+				return fmt.Errorf("temporal: S_%d[%d] inconsistent inward half-edge", u, j-lo)
 			}
 		}
-		halves += len(s)
 	}
-	if halves != 2*len(g.edges) {
-		return fmt.Errorf("temporal: %d half-edges for %d edges", halves, len(g.edges))
+	if len(g.nbrOff) != g.numNodes+1 || len(g.grpOff) != len(g.nbrKey)+1 {
+		return fmt.Errorf("temporal: malformed neighbor index offsets")
 	}
-	for v, m := range g.nbrIndex {
-		for w, hs := range m {
-			for i, h := range hs {
-				if h.Other != w {
-					return fmt.Errorf("temporal: nbrIndex[%d][%d] contains edge to %d", v, w, h.Other)
+	if len(g.grpID) != h || g.grpOff[len(g.nbrKey)] != h {
+		return fmt.Errorf("temporal: grouped columns do not cover the half-edges")
+	}
+	for u := 0; u < g.numNodes; u++ {
+		lo, hi := g.nbrOff[u], g.nbrOff[u+1]
+		if lo > hi || hi > len(g.nbrKey) {
+			return fmt.Errorf("temporal: neighbor offsets malformed at node %d", u)
+		}
+		if lo < hi && g.grpOff[lo] != g.incOff[u] {
+			return fmt.Errorf("temporal: node %d groups do not start at its incident span", u)
+		}
+		if hi > lo && g.grpOff[hi] != g.incOff[u+1] {
+			return fmt.Errorf("temporal: node %d groups do not end at its incident span", u)
+		}
+		for i := lo; i < hi; i++ {
+			if i > lo && g.nbrKey[i] <= g.nbrKey[i-1] {
+				return fmt.Errorf("temporal: neighbor keys of node %d out of order", u)
+			}
+			a, b := g.grpOff[i], g.grpOff[i+1]
+			if a >= b {
+				return fmt.Errorf("temporal: empty group for nodes (%d,%d)", u, g.nbrKey[i])
+			}
+			for j := a; j < b; j++ {
+				if g.grpOther[j] != g.nbrKey[i] {
+					return fmt.Errorf("temporal: E(%d,%d) contains edge to %d", u, g.nbrKey[i], g.grpOther[j])
 				}
-				if i > 0 && h.ID <= hs[i-1].ID {
-					return fmt.Errorf("temporal: nbrIndex[%d][%d] out of order", v, w)
+				if j > a && g.grpID[j] <= g.grpID[j-1] {
+					return fmt.Errorf("temporal: E(%d,%d) out of order", u, g.nbrKey[i])
+				}
+				id := g.grpID[j]
+				if id < 0 || int(id) >= m {
+					return fmt.Errorf("temporal: E(%d,%d) references edge %d of %d", u, g.nbrKey[i], id, m)
+				}
+				if g.grpTime[j] != g.ts[id] {
+					return fmt.Errorf("temporal: E(%d,%d) timestamp mismatch", u, g.nbrKey[i])
+				}
+				switch {
+				case g.grpOut[j] && (g.src[id] != NodeID(u) || g.dst[id] != g.nbrKey[i]):
+					return fmt.Errorf("temporal: E(%d,%d) inconsistent outward half-edge", u, g.nbrKey[i])
+				case !g.grpOut[j] && (g.dst[id] != NodeID(u) || g.src[id] != g.nbrKey[i]):
+					return fmt.Errorf("temporal: E(%d,%d) inconsistent inward half-edge", u, g.nbrKey[i])
 				}
 			}
 		}

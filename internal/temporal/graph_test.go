@@ -54,11 +54,11 @@ func TestSeqMatchesPaperExample(t *testing.T) {
 	}{
 		{4, 2, true}, {8, 2, true}, {9, 3, false}, {11, 1, true}, {15, 2, true},
 	}
-	if len(sa) != len(want) {
-		t.Fatalf("len(S_a) = %d, want %d", len(sa), len(want))
+	if sa.Len() != len(want) {
+		t.Fatalf("len(S_a) = %d, want %d", sa.Len(), len(want))
 	}
 	for i, w := range want {
-		h := sa[i]
+		h := sa.At(i)
 		if h.Time != w.time || h.Other != w.other || h.Out != w.out {
 			t.Errorf("S_a[%d] = (%d,%d,%v), want (%d,%d,%v)", i, h.Time, h.Other, h.Out, w.time, w.other, w.out)
 		}
@@ -72,11 +72,11 @@ func TestSeqMatchesPaperExample(t *testing.T) {
 	}{
 		{1, 3, true}, {6, 2, true}, {14, 3, false}, {18, 3, true}, {21, 3, false},
 	}
-	if len(se) != len(wantE) {
-		t.Fatalf("len(S_e) = %d, want %d", len(se), len(wantE))
+	if se.Len() != len(wantE) {
+		t.Fatalf("len(S_e) = %d, want %d", se.Len(), len(wantE))
 	}
 	for i, w := range wantE {
-		h := se[i]
+		h := se.At(i)
 		if h.Time != w.time || h.Other != w.other || h.Out != w.out {
 			t.Errorf("S_e[%d] = (%d,%d,%v), want (%d,%d,%v)", i, h.Time, h.Other, h.Out, w.time, w.other, w.out)
 		}
@@ -87,25 +87,25 @@ func TestBetween(t *testing.T) {
 	g := buildToy(t)
 	// E(c,d) = {(d->c,10s), (c->d,17s)}; relative to c: in then out.
 	cd := g.Between(2, 3)
-	if len(cd) != 2 {
-		t.Fatalf("len(E(c,d)) = %d, want 2", len(cd))
+	if cd.Len() != 2 {
+		t.Fatalf("len(E(c,d)) = %d, want 2", cd.Len())
 	}
-	if cd[0].Time != 10 || cd[0].Out {
-		t.Errorf("E(c,d)[0] = (%d, out=%v), want (10, in)", cd[0].Time, cd[0].Out)
+	if cd.Time[0] != 10 || cd.Out[0] {
+		t.Errorf("E(c,d)[0] = (%d, out=%v), want (10, in)", cd.Time[0], cd.Out[0])
 	}
-	if cd[1].Time != 17 || !cd[1].Out {
-		t.Errorf("E(c,d)[1] = (%d, out=%v), want (17, out)", cd[1].Time, cd[1].Out)
+	if cd.Time[1] != 17 || !cd.Out[1] {
+		t.Errorf("E(c,d)[1] = (%d, out=%v), want (17, out)", cd.Time[1], cd.Out[1])
 	}
 	// Symmetric view from d flips directions.
 	dc := g.Between(3, 2)
-	if len(dc) != 2 || !dc[0].Out || dc[1].Out {
+	if dc.Len() != 2 || !dc.Out[0] || dc.Out[1] {
 		t.Errorf("E(d,c) directions wrong: %+v", dc)
 	}
-	if g.Between(0, 4) != nil {
+	if g.Between(0, 4).Len() != 0 {
 		t.Errorf("E(a,e) should be empty")
 	}
-	if g.Between(400, 4) != nil {
-		t.Errorf("out-of-range node should yield nil")
+	if g.Between(400, 4).Len() != 0 {
+		t.Errorf("out-of-range node should yield an empty view")
 	}
 }
 
@@ -204,11 +204,11 @@ func TestBetweenSymmetryProperty(t *testing.T) {
 		for v := NodeID(0); int(v) < g.NumNodes(); v++ {
 			for w := NodeID(0); int(w) < g.NumNodes(); w++ {
 				a, b := g.Between(v, w), g.Between(w, v)
-				if len(a) != len(b) {
+				if a.Len() != b.Len() {
 					return false
 				}
-				for i := range a {
-					if a[i].ID != b[i].ID || a[i].Out == b[i].Out {
+				for i := 0; i < a.Len(); i++ {
+					if a.ID[i] != b.ID[i] || a.Out[i] == b.Out[i] {
 						return false
 					}
 				}

@@ -45,7 +45,7 @@ func ComputeStats(g *Graph, topK int) Stats {
 		if d > s.MaxDegree {
 			s.MaxDegree = d
 		}
-		s.DistinctPairs += len(g.nbrIndex[u])
+		s.DistinctPairs += g.NeighborCount(NodeID(u))
 	}
 	s.DistinctPairs /= 2
 	if s.ActiveNodes > 0 {

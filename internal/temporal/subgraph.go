@@ -5,10 +5,13 @@ import "sort"
 // TimeSlice returns the subgraph of edges with timestamps in [lo, hi).
 // Relative edge order (and hence tie-breaking) is preserved.
 func (g *Graph) TimeSlice(lo, hi Timestamp) *Graph {
-	edges := g.edges
-	from := sort.Search(len(edges), func(i int) bool { return edges[i].Time >= lo })
-	to := sort.Search(len(edges), func(i int) bool { return edges[i].Time >= hi })
-	return FromEdges(edges[from:to])
+	from := sort.Search(len(g.ts), func(i int) bool { return g.ts[i] >= lo })
+	to := sort.Search(len(g.ts), func(i int) bool { return g.ts[i] >= hi })
+	b := NewBuilder(to - from)
+	for i := from; i < to; i++ {
+		_ = b.AddEdge(g.src[i], g.dst[i], g.ts[i]) // columns come from a valid graph
+	}
+	return b.Build()
 }
 
 // InducedSubgraph returns the subgraph of edges whose both endpoints are in
@@ -18,15 +21,15 @@ func (g *Graph) InducedSubgraph(nodes []NodeID) *Graph {
 	for _, u := range nodes {
 		keep[u] = struct{}{}
 	}
-	b := NewBuilder(len(g.edges) / 4)
-	for _, e := range g.edges {
-		if _, ok := keep[e.From]; !ok {
+	b := NewBuilder(len(g.ts) / 4)
+	for i := range g.ts {
+		if _, ok := keep[g.src[i]]; !ok {
 			continue
 		}
-		if _, ok := keep[e.To]; !ok {
+		if _, ok := keep[g.dst[i]]; !ok {
 			continue
 		}
-		_ = b.AddEdge(e.From, e.To, e.Time) // inputs come from a valid graph
+		_ = b.AddEdge(g.src[i], g.dst[i], g.ts[i])
 	}
 	return b.Build()
 }
@@ -46,13 +49,9 @@ func (g *Graph) FilterMinDegree(k int) *Graph {
 
 // EgoNetwork returns the subgraph induced by u and its static neighbors.
 func (g *Graph) EgoNetwork(u NodeID) *Graph {
-	if int(u) >= len(g.nbrIndex) || g.nbrIndex[u] == nil {
-		return g.InducedSubgraph([]NodeID{u})
-	}
-	nodes := make([]NodeID, 0, len(g.nbrIndex[u])+1)
+	nbrs := g.Neighbors(u)
+	nodes := make([]NodeID, 0, len(nbrs)+1)
 	nodes = append(nodes, u)
-	for w := range g.nbrIndex[u] {
-		nodes = append(nodes, w)
-	}
+	nodes = append(nodes, nbrs...)
 	return g.InducedSubgraph(nodes)
 }
