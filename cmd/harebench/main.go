@@ -38,6 +38,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the machine-readable benchmark report instead of an experiment")
 		count    = flag.Int("count", 3, "json mode: best-of repetitions per measurement (>= 1)")
 		outPath  = flag.String("out", "", "json mode: output file (default stdout)")
+		loadW    = flag.Int("load-workers", 0, "json mode: parallel-loader workers for the load measurements (0 = all CPUs)")
 	)
 	flag.Parse()
 	if *scale <= 0 {
@@ -58,12 +59,16 @@ func main() {
 			usageErr("-threads entries must be >= 1 (got %d)", th)
 		}
 	}
+	if *loadW < 0 {
+		usageErr("-load-workers must be >= 0 (got %d; 0 = all CPUs)", *loadW)
+	}
 	opts := bench.Options{
-		Out:     os.Stdout,
-		Scale:   *scale,
-		Delta:   temporal.Timestamp(*delta),
-		Threads: ths,
-		Seed:    *seed,
+		Out:         os.Stdout,
+		Scale:       *scale,
+		Delta:       temporal.Timestamp(*delta),
+		Threads:     ths,
+		Seed:        *seed,
+		LoadWorkers: *loadW,
 	}
 	if *datasets != "" {
 		opts.Datasets = strings.Split(*datasets, ",")

@@ -4,6 +4,7 @@
 //
 //	harecount -input edges.txt [-delta 600] [-workers 0] [-thrd 0]
 //	          [-motif M26] [-relabel] [-comma] [-stats] [-check]
+//	          [-load-workers 0]
 //
 // The input format is one "u v t" edge per line (whitespace or, with
 // -comma, comma separated; '#'/'%' comments ignored; ".gz" transparent).
@@ -30,6 +31,7 @@ func main() {
 		comma   = flag.Bool("comma", false, "treat commas as field separators")
 		stats   = flag.Bool("stats", false, "print graph statistics before counting")
 		check   = flag.Bool("check", false, "validate internal graph invariants after loading")
+		loadW   = flag.Int("load-workers", 0, "parallel ingestion workers (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -44,7 +46,10 @@ func main() {
 	if *workers < 0 {
 		usageErr("-workers must be >= 0 (got %d; 0 = all CPUs)", *workers)
 	}
-	if err := run(*input, *delta, *workers, *thrd, *only, *relabel, *comma, *stats, *check); err != nil {
+	if *loadW < 0 {
+		usageErr("-load-workers must be >= 0 (got %d; 0 = all CPUs)", *loadW)
+	}
+	if err := run(*input, *delta, *workers, *thrd, *only, *relabel, *comma, *stats, *check, *loadW); err != nil {
 		fmt.Fprintln(os.Stderr, "harecount:", err)
 		os.Exit(1)
 	}
@@ -57,8 +62,8 @@ func usageErr(format string, args ...any) {
 	os.Exit(2)
 }
 
-func run(input string, delta int64, workers, thrd int, only string, relabel, comma, stats, check bool) error {
-	g, err := hare.LoadFile(input, hare.LoadOptions{Relabel: relabel, Comma: comma})
+func run(input string, delta int64, workers, thrd int, only string, relabel, comma, stats, check bool, loadWorkers int) error {
+	g, err := hare.LoadFile(input, hare.LoadOptions{Relabel: relabel, Comma: comma, Workers: loadWorkers})
 	if err != nil {
 		return err
 	}

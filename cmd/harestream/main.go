@@ -5,6 +5,7 @@
 //	tail -f transactions.log | harestream -delta 600 -every 100000
 //	harestream -input edges.txt -delta 600 -watch M26 -every 50000
 //	harestream -input edges.txt -delta 600 -sliding -workers 8
+//	harestream -input backfill.txt -delta 600 -load-workers 8
 //
 // Input is one "u v t" edge per line in non-decreasing time order. Edges
 // are ingested in batches fanned out over worker goroutines; -sliding
@@ -29,6 +30,7 @@ func main() {
 		workers = flag.Int("workers", 0, "ingest worker goroutines (0 = GOMAXPROCS)")
 		batch   = flag.Int("batch", 0, "edges per ingest batch (0 = default)")
 		sliding = flag.Bool("sliding", false, "track the last-δ window, not just cumulative totals")
+		loadW   = flag.Int("load-workers", 0, "parse the input with N goroutines (0/1 = sequential; chunked, so best for file replays, not live pipes)")
 	)
 	flag.Parse()
 	if *delta <= 0 {
@@ -43,12 +45,15 @@ func main() {
 	if *batch < 0 {
 		usageErr("-batch must be >= 0 (got %d)", *batch)
 	}
+	if *loadW < 0 {
+		usageErr("-load-workers must be >= 0 (got %d)", *loadW)
+	}
 	if *input != "-" {
 		if _, err := os.Stat(*input); err != nil {
 			usageErr("-input: %v", err)
 		}
 	}
-	if err := run(*input, *delta, *every, *watch, *workers, *batch, *sliding); err != nil {
+	if err := run(*input, *delta, *every, *watch, *workers, *batch, *loadW, *sliding); err != nil {
 		fmt.Fprintln(os.Stderr, "harestream:", err)
 		os.Exit(1)
 	}
@@ -61,7 +66,7 @@ func usageErr(format string, args ...any) {
 	os.Exit(2)
 }
 
-func run(input string, delta int64, every int, watch string, workers, batch int, sliding bool) error {
+func run(input string, delta int64, every int, watch string, workers, batch, loadWorkers int, sliding bool) error {
 	var r io.Reader = os.Stdin
 	if input != "-" {
 		f, err := os.Open(input)
@@ -126,7 +131,8 @@ func run(input string, delta int64, every int, watch string, workers, batch int,
 	}
 	lastSnap := 0
 	_, err = sc.Feed(r, hare.StreamFeedOptions{
-		BatchSize: batch,
+		BatchSize:    batch,
+		ParseWorkers: loadWorkers,
 		OnBatch: func(c *hare.StreamCounter, _ int) {
 			if every > 0 && c.Edges()-lastSnap >= every {
 				lastSnap = c.Edges()

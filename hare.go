@@ -71,12 +71,17 @@ func NewBuilder(n int) *Builder { return temporal.NewBuilder(n) }
 // FromEdges builds a Graph from an edge slice (self-loops are dropped).
 func FromEdges(edges []Edge) *Graph { return temporal.FromEdges(edges) }
 
-// LoadFile reads a whitespace-separated "u v t" edge list (gzip transparent).
+// LoadFile reads a whitespace-separated "u v t" edge list (gzip
+// transparent). Loading is parallel by default — plain files are
+// memory-mapped and parsed in newline-aligned chunks, ".gz" files pipeline
+// decompression with parsing — and bit-identical to the sequential loader;
+// see LoadOptions.Workers.
 func LoadFile(path string, opts LoadOptions) (*Graph, error) {
 	return temporal.LoadFile(path, opts)
 }
 
-// ReadEdgeList parses an edge list from a reader.
+// ReadEdgeList parses an edge list from a reader (parallel chunked parsing
+// per LoadOptions.Workers).
 func ReadEdgeList(r io.Reader, opts LoadOptions) (*Graph, error) {
 	return temporal.ReadEdgeList(r, opts)
 }
@@ -110,7 +115,10 @@ type Result struct {
 	Elapsed time.Duration
 	// Workers is the number of worker goroutines used.
 	Workers int
-	// DegreeThreshold is the effective thrd (0 when single-threaded).
+	// DegreeThreshold is the effective thrd the HARE engine applied: the
+	// WithDegreeThreshold value when given, otherwise the auto-derived
+	// top-20 heuristic. 0 when the sequential path ran or the graph was too
+	// small for an intra-node stage; negative when it was disabled.
 	DegreeThreshold int
 }
 
@@ -175,6 +183,14 @@ func Count(g *Graph, delta Timestamp, opts ...Option) (Result, error) {
 		res.Matrix = counts.ToMatrix()
 	} else {
 		eo := engine.Options{Workers: workers, DegreeThreshold: c.thrd, Schedule: c.schedule}
+		// Resolve the auto heuristic once, up front: the run uses the
+		// resolved value directly (no second O(n) degree scan) and the
+		// Result reports the threshold actually applied rather than the
+		// unset option.
+		eff := engine.EffectiveDegreeThreshold(g, eo)
+		if eff != 0 {
+			eo.DegreeThreshold = eff
+		}
 		var counts *motif.Counts
 		switch {
 		case doStar && doTri:
@@ -185,7 +201,7 @@ func Count(g *Graph, delta Timestamp, opts ...Option) (Result, error) {
 			counts = engine.CountTri(g, delta, eo)
 		}
 		res.Matrix = counts.ToMatrix()
-		res.DegreeThreshold = c.thrd
+		res.DegreeThreshold = eff
 	}
 	res.Elapsed = time.Since(start)
 	res.Workers = workers

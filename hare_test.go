@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hare"
+	"hare/internal/temporal"
 )
 
 func fig1Graph() *hare.Graph {
@@ -77,6 +78,38 @@ func TestCountParallelEqualsSequential(t *testing.T) {
 		if !par.Matrix.Equal(&seq.Matrix) {
 			t.Fatalf("parallel result differs: %v", par.Matrix.Diff(&seq.Matrix))
 		}
+	}
+}
+
+// TestCountReportsEffectiveThreshold pins the bugfix that Result reports
+// the thrd the engine derived (the top-20 heuristic) rather than echoing
+// the unset option back as 0.
+func TestCountReportsEffectiveThreshold(t *testing.T) {
+	g := randomGraph(3, 40, 2000, 200)
+	res, err := hare.Count(g, 30, hare.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := temporal.TopKDegreeThreshold(g, 20)
+	if want == 0 {
+		t.Fatal("test graph too small to derive a threshold")
+	}
+	if res.DegreeThreshold != want {
+		t.Fatalf("DegreeThreshold = %d, want auto-derived %d", res.DegreeThreshold, want)
+	}
+	res, err = hare.Count(g, 30, hare.WithWorkers(2), hare.WithDegreeThreshold(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DegreeThreshold != 7 {
+		t.Fatalf("explicit DegreeThreshold = %d, want 7", res.DegreeThreshold)
+	}
+	res, err = hare.Count(g, 30, hare.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DegreeThreshold != 0 {
+		t.Fatalf("sequential DegreeThreshold = %d, want 0", res.DegreeThreshold)
 	}
 }
 

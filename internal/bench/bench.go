@@ -40,6 +40,9 @@ type Options struct {
 	Threads []int
 	// Seed offsets the dataset seeds (default 0: the canonical suite).
 	Seed int64
+	// LoadWorkers is the parallel-loader worker count used by the JSON
+	// report's load measurements (0 = GOMAXPROCS).
+	LoadWorkers int
 }
 
 func (o Options) scale() float64 {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"runtime"
@@ -12,8 +13,10 @@ import (
 	"hare/internal/temporal"
 )
 
-// ReportSchema versions the JSON benchmark report format.
-const ReportSchema = 1
+// ReportSchema versions the JSON benchmark report format. Schema 2 added
+// the load_* fields (edge-list text parsing throughput, sequential and
+// parallel, and whole-load allocations per edge).
+const ReportSchema = 2
 
 // DatasetReport holds one dataset's measured numbers. Timings are
 // best-of-Runs wall times; rates derive from them.
@@ -26,6 +29,19 @@ type DatasetReport struct {
 	// Ingest: building the columnar CSR graph from an edge slice.
 	IngestNsOp        int64   `json:"ingest_ns_op"`
 	IngestEdgesPerSec float64 `json:"ingest_edges_per_sec"`
+
+	// Load: parsing the dataset's edge-list text into a Graph — the full
+	// ingestion pipeline (parse + relabel-free build) — with the parallel
+	// loader at LoadWorkers workers and with the sequential reference
+	// loader. LoadAllocsPerEdge is whole-load mallocs per edge for the
+	// parallel loader (columns and indexes included; the parse loop itself
+	// is allocation free, guarded by a testing.AllocsPerRun test).
+	LoadNsOp           int64   `json:"load_ns_op"`
+	LoadEdgesPerSec    float64 `json:"load_edges_per_sec"`
+	LoadWorkers        int     `json:"load_workers"`
+	LoadSeqNsOp        int64   `json:"load_seq_ns_op"`
+	LoadSeqEdgesPerSec float64 `json:"load_seq_edges_per_sec"`
+	LoadAllocsPerEdge  float64 `json:"load_allocs_per_edge"`
 
 	// Count: single-threaded FAST (stars+pairs+triangles, dedup mode).
 	CountNsOp        int64   `json:"count_ns_op"`
@@ -96,6 +112,32 @@ func JSONReport(opts Options, runs int) (*Report, error) {
 		})
 		d.IngestEdgesPerSec = rate(d.Edges, d.IngestNsOp)
 
+		// Load throughput over the serialized edge-list text, kept in
+		// memory so the measurement tracks parsing, not disk.
+		var text bytes.Buffer
+		if err := temporal.WriteEdgeList(&text, g); err != nil {
+			return nil, err
+		}
+		data := text.Bytes()
+		loadWorkers := opts.LoadWorkers
+		if loadWorkers <= 0 {
+			loadWorkers = runtime.GOMAXPROCS(0)
+		}
+		d.LoadWorkers = loadWorkers
+		d.LoadNsOp = bestOf(runs, func() {
+			if _, err := temporal.ReadEdgeList(bytes.NewReader(data), temporal.LoadOptions{Workers: loadWorkers}); err != nil {
+				panic(err) // synthetic dataset text cannot fail to parse
+			}
+		})
+		d.LoadEdgesPerSec = rate(d.Edges, d.LoadNsOp)
+		d.LoadSeqNsOp = bestOf(runs, func() {
+			if _, err := temporal.ReadEdgeList(bytes.NewReader(data), temporal.LoadOptions{Workers: 1}); err != nil {
+				panic(err)
+			}
+		})
+		d.LoadSeqEdgesPerSec = rate(d.Edges, d.LoadSeqNsOp)
+		d.LoadAllocsPerEdge = measureLoadAllocs(data, loadWorkers, d.Edges)
+
 		d.CountNsOp = bestOf(runs, func() {
 			fast.Count(g, delta)
 		})
@@ -144,6 +186,23 @@ func rate(edges int, nsOp int64) float64 {
 		return 0
 	}
 	return float64(edges) / (float64(nsOp) / 1e9)
+}
+
+// measureLoadAllocs reports whole-load mallocs per edge for one parallel
+// load of the in-memory edge-list text: steady-state parse allocations are
+// zero, so this tracks the per-load fixed costs (columns, CSR indexes,
+// chunk bookkeeping) amortised over the edges.
+func measureLoadAllocs(data []byte, workers, edges int) float64 {
+	if edges == 0 {
+		return 0
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := temporal.ReadEdgeList(bytes.NewReader(data), temporal.LoadOptions{Workers: workers}); err != nil {
+		panic(err)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(edges)
 }
 
 // measureHotPathAllocs runs the FAST per-center hot path (Algorithm 1 + 2,

@@ -91,14 +91,25 @@ func CountTri(g *temporal.Graph, delta temporal.Timestamp, opts Options) *motif.
 	return run(g, delta, opts, false, true)
 }
 
+// EffectiveDegreeThreshold reports the thrd a run with opts uses to split
+// light from heavy centers: the explicit Options.DegreeThreshold when set,
+// otherwise the automatic top-20 heuristic. A return of 0 means the graph
+// is too small for the heuristic and the run has no intra-node stage;
+// negative means the caller disabled it. Callers (hare.Count's Result)
+// surface this so reports show the threshold actually applied rather than
+// the requested option.
+func EffectiveDegreeThreshold(g *temporal.Graph, opts Options) int {
+	if thrd := opts.DegreeThreshold; thrd != 0 {
+		return thrd
+	}
+	return temporal.TopKDegreeThreshold(g, 20)
+}
+
 func run(g *temporal.Graph, delta temporal.Timestamp, opts Options, doStar, doTri bool) *motif.Counts {
 	workers := opts.workers()
-	thrd := opts.DegreeThreshold
-	if thrd == 0 {
-		thrd = temporal.TopKDegreeThreshold(g, 20)
-		if thrd == 0 {
-			thrd = int(^uint(0) >> 1) // tiny graph: no intra-node stage
-		}
+	thrd := EffectiveDegreeThreshold(g, opts)
+	if opts.DegreeThreshold == 0 && thrd == 0 {
+		thrd = int(^uint(0) >> 1) // tiny graph: no intra-node stage
 	}
 
 	var light, heavy []temporal.NodeID

@@ -451,6 +451,60 @@ func TestFeed(t *testing.T) {
 	}
 }
 
+// TestFeedParallelParseEquivalence: Feed with ParseWorkers must be
+// bit-identical to the sequential scanner path — same totals, same counts,
+// same error on the same line — over valid and invalid inputs.
+func TestFeedParallelParseEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var sb strings.Builder
+	tnow := int64(0)
+	for i := 0; i < 5000; i++ {
+		switch {
+		case i%97 == 0:
+			sb.WriteString("# checkpoint\n")
+		case i%131 == 0:
+			sb.WriteString("\n")
+		default:
+			tnow += int64(r.Intn(3))
+			fmt.Fprintf(&sb, "%d %d %d\n", r.Intn(40), r.Intn(40), tnow)
+		}
+	}
+	inputs := []string{
+		sb.String(),
+		"0 1 10\n1 2 12\n2 0 14\n3 3 15\n0 3 16\n",
+		"1 2 10\n2 3 11\n# note\n3 4 5\n", // out of order at line 4
+		"1 2 10\nbogus\n2 3 11\n",         // parse error at line 2
+		"1 2 10\n99999999999 2 20\n",      // id out of range at line 2
+		"",                                // empty stream
+	}
+	for i, input := range inputs {
+		seq, err1 := NewCounter(Options{Delta: 50, Workers: 2})
+		if err1 != nil {
+			t.Fatal(err1)
+		}
+		n1, ferr1 := seq.Feed(strings.NewReader(input), FeedOptions{BatchSize: 64})
+		par, err2 := NewCounter(Options{Delta: 50, Workers: 2})
+		if err2 != nil {
+			t.Fatal(err2)
+		}
+		n2, ferr2 := par.Feed(strings.NewReader(input), FeedOptions{BatchSize: 64, ParseWorkers: 4})
+		if n1 != n2 {
+			t.Fatalf("input %d: totals %d vs %d", i, n1, n2)
+		}
+		if (ferr1 == nil) != (ferr2 == nil) || (ferr1 != nil && ferr1.Error() != ferr2.Error()) {
+			t.Fatalf("input %d: errors %v vs %v", i, ferr1, ferr2)
+		}
+		sm, pm := seq.Matrix(), par.Matrix()
+		if !sm.Equal(&pm) {
+			t.Fatalf("input %d: counts diverge: %v", i, sm.Diff(&pm))
+		}
+		if seq.Edges() != par.Edges() || seq.SelfLoopsDropped() != par.SelfLoopsDropped() {
+			t.Fatalf("input %d: edges %d/%d loops %d/%d", i,
+				seq.Edges(), par.Edges(), seq.SelfLoopsDropped(), par.SelfLoopsDropped())
+		}
+	}
+}
+
 // The big-batch path must also agree when one AddBatch call spans many
 // multiples of δ, so edges arrive and expire inside the same call.
 func TestSlidingExpiryWithinOneBatch(t *testing.T) {

@@ -17,12 +17,83 @@ type FeedOptions struct {
 	// OnBatch, when non-nil, runs after every ingested batch — the hook for
 	// periodic snapshots. n is the number of edges in that batch.
 	OnBatch func(c *Counter, n int)
+	// ParseWorkers > 1 parses the input with that many goroutines using the
+	// batch loader's chunked byte-level pipeline, bit-identical to the
+	// sequential path (same edges, same error on the same line). Parsing
+	// then proceeds at chunk granularity, which adds latency on live pipes
+	// — leave it at 0 (sequential) for tail -f-style feeds and raise it for
+	// file replays and backfills.
+	ParseWorkers int
 }
 
 // DefaultFeedBatch is the Feed batch size when FeedOptions.BatchSize is 0.
 // Large enough that AddBatch's fan-out amortises, small enough that
 // snapshots stay responsive on slow streams.
 const DefaultFeedBatch = 4096
+
+// feeder holds Feed's shared per-edge ingest state: validation, batching,
+// the AddBatch flush, and the snapshot hook. Both the sequential scanner
+// path and the parallel chunk path drive the same methods, so their
+// observable behaviour — edge order, error text and line numbers, snapshot
+// cadence — cannot drift apart.
+type feeder struct {
+	c         *Counter
+	opts      FeedOptions
+	batchSize int
+	batch     []temporal.Edge
+	batchLine int // input line of the current batch's first edge
+	total     int64
+	started   bool
+	lastT     temporal.Timestamp
+}
+
+func newFeeder(c *Counter, opts FeedOptions, batchSize int) *feeder {
+	return &feeder{
+		c: c, opts: opts, batchSize: batchSize,
+		batch:   make([]temporal.Edge, 0, batchSize),
+		started: c.started, lastT: c.lastT,
+	}
+}
+
+// ingest validates one parsed "u v t" line and appends it, flushing a full
+// batch. Errors name lineNo, the absolute input line.
+func (f *feeder) ingest(u, v int64, t temporal.Timestamp, lineNo int) error {
+	if u < 0 || v < 0 || u > math.MaxInt32 || v > math.MaxInt32 {
+		return fmt.Errorf("stream: line %d: node id out of range (%d,%d)", lineNo, u, v)
+	}
+	if f.started && t < f.lastT {
+		return fmt.Errorf("stream: line %d: out-of-order edge at t=%d (last %d)", lineNo, t, f.lastT)
+	}
+	f.started, f.lastT = true, t
+	if len(f.batch) == 0 {
+		f.batchLine = lineNo
+	}
+	f.batch = append(f.batch, temporal.Edge{
+		From: temporal.NodeID(u), To: temporal.NodeID(v), Time: t,
+	})
+	if len(f.batch) >= f.batchSize {
+		return f.flush()
+	}
+	return nil
+}
+
+func (f *feeder) flush() error {
+	if len(f.batch) == 0 {
+		return nil
+	}
+	if err := f.c.AddBatch(f.batch); err != nil {
+		// Reachable for stream-level failures the per-line checks can't
+		// see (e.g. edge-id-space exhaustion after 2^31-1 edges): the
+		// line range localises them as tightly as a batch allows.
+		return fmt.Errorf("stream: lines %d-%d: %v", f.batchLine, f.batchLine+len(f.batch)-1, err)
+	}
+	f.total += int64(len(f.batch))
+	if f.opts.OnBatch != nil {
+		f.opts.OnBatch(f.c, len(f.batch))
+	}
+	f.batch = f.batch[:0]
+	return nil
+}
 
 // Feed ingests a whitespace-separated "u v t" edge list from r in batches
 // through AddBatch — the reader-driven counterpart of Add for log pipes and
@@ -36,61 +107,59 @@ func (c *Counter) Feed(r io.Reader, opts FeedOptions) (int64, error) {
 	if batchSize <= 0 {
 		batchSize = DefaultFeedBatch
 	}
-	var total int64
-	batch := make([]temporal.Edge, 0, batchSize)
-	batchLine := 0 // input line of the current batch's first edge
-	flush := func() error {
-		if len(batch) == 0 {
-			return nil
-		}
-		if err := c.AddBatch(batch); err != nil {
-			// Reachable for stream-level failures the per-line checks can't
-			// see (e.g. edge-id-space exhaustion after 2^31-1 edges): the
-			// line range localises them as tightly as a batch allows.
-			return fmt.Errorf("stream: lines %d-%d: %v", batchLine, batchLine+len(batch)-1, err)
-		}
-		total += int64(len(batch))
-		if opts.OnBatch != nil {
-			opts.OnBatch(c, len(batch))
-		}
-		batch = batch[:0]
-		return nil
+	f := newFeeder(c, opts, batchSize)
+	if opts.ParseWorkers > 1 {
+		return c.feedParallel(r, opts, f)
 	}
-
 	scan := bufio.NewScanner(r)
 	scan.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
-	started, lastT := c.started, c.lastT
 	for scan.Scan() {
 		lineNo++
 		el, skip, err := temporal.ParseEdgeLine(scan.Text(), false)
 		if err != nil {
-			return total, fmt.Errorf("stream: line %d: %v", lineNo, err)
+			return f.total, fmt.Errorf("stream: line %d: %v", lineNo, err)
 		}
 		if skip {
 			continue
 		}
-		if el.U < 0 || el.V < 0 || el.U > math.MaxInt32 || el.V > math.MaxInt32 {
-			return total, fmt.Errorf("stream: line %d: node id out of range (%d,%d)", lineNo, el.U, el.V)
-		}
-		if started && el.T < lastT {
-			return total, fmt.Errorf("stream: line %d: out-of-order edge at t=%d (last %d)", lineNo, el.T, lastT)
-		}
-		started, lastT = true, el.T
-		if len(batch) == 0 {
-			batchLine = lineNo
-		}
-		batch = append(batch, temporal.Edge{
-			From: temporal.NodeID(el.U), To: temporal.NodeID(el.V), Time: el.T,
-		})
-		if len(batch) >= batchSize {
-			if err := flush(); err != nil {
-				return total, err
-			}
+		if err := f.ingest(el.U, el.V, el.T, lineNo); err != nil {
+			return f.total, err
 		}
 	}
 	if err := scan.Err(); err != nil {
-		return total, err
+		return f.total, err
 	}
-	return total, flush()
+	return f.total, f.flush()
+}
+
+// feedParallel is Feed with parsing fanned out over the chunk pipeline.
+// Validation, batching, and AddBatch stay on the calling goroutine in input
+// order, driving the same feeder as the sequential path.
+func (c *Counter) feedParallel(r io.Reader, opts FeedOptions, f *feeder) (int64, error) {
+	var ferr error
+	err := temporal.ForEachParsedChunk(r, false, opts.ParseWorkers, func(pc temporal.ParsedChunk) bool {
+		for i := range pc.U {
+			if err := f.ingest(pc.U[i], pc.V[i], pc.T[i], pc.LineBase+int(pc.Line[i])); err != nil {
+				ferr = err
+				return false
+			}
+		}
+		if pc.Err != nil {
+			if pc.ErrRead {
+				ferr = pc.Err // raw, matching the sequential scan.Err() path
+			} else {
+				ferr = fmt.Errorf("stream: line %d: %v", pc.LineBase+pc.ErrLine, pc.Err)
+			}
+			return false
+		}
+		return true
+	})
+	if ferr != nil {
+		return f.total, ferr
+	}
+	if err != nil {
+		return f.total, err
+	}
+	return f.total, f.flush()
 }

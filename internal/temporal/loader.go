@@ -18,9 +18,19 @@ type LoadOptions struct {
 	// Relabel maps arbitrary non-negative source IDs to a dense [0,n) space.
 	// Without it node IDs must already be dense-ish non-negative integers.
 	Relabel bool
-	// MaxEdges, when > 0, stops after reading that many edges (useful for
-	// sampling the head of a very large file).
+	// MaxEdges, when > 0, stops after that many kept edges (useful for
+	// sampling the head of a very large file). It counts edges added to the
+	// graph — self-loops, which the Builder drops, do not count — not input
+	// lines; reading stops at the line holding the MaxEdges-th kept edge.
 	MaxEdges int
+	// Workers is the parallelism of the ingestion pipeline: the input is
+	// split into newline-aligned chunks parsed concurrently (a zero-alloc
+	// byte-level parser with ParseEdgeLine as its reference grammar) and
+	// the CSR build is parallelised. The result is bit-identical to the
+	// sequential loader: same EdgeIDs, same relabel assignment, and the
+	// same error on the same line number. 0 selects GOMAXPROCS; 1 or any
+	// negative value forces the sequential reference path.
+	Workers int
 }
 
 // EdgeLine is one parsed edge-list line, with raw (possibly sparse or
@@ -60,10 +70,20 @@ func ParseEdgeLine(line string, comma bool) (e EdgeLine, skip bool, err error) {
 	return e, false, nil
 }
 
-// ReadEdgeList parses "u v t" lines from r and builds a Graph.
+// ReadEdgeList parses "u v t" lines from r and builds a Graph, in parallel
+// when opts.Workers allows (see LoadOptions.Workers).
 //
 // The line grammar is ParseEdgeLine's.
 func ReadEdgeList(r io.Reader, opts LoadOptions) (*Graph, error) {
+	if w := opts.loadWorkers(); w > 1 {
+		return readEdgeListParallel(newStreamSource(r, defaultChunkSize, w), opts, w)
+	}
+	return readEdgeListSeq(r, opts)
+}
+
+// readEdgeListSeq is the sequential reference loader the parallel pipeline
+// must be bit-identical to (ploader_test.go enforces the equivalence).
+func readEdgeListSeq(r io.Reader, opts LoadOptions) (*Graph, error) {
 	b := NewBuilder(1024)
 	relabel := map[int64]NodeID{}
 	next := NodeID(0)
@@ -98,7 +118,10 @@ func ReadEdgeList(r io.Reader, opts LoadOptions) (*Graph, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("temporal: read: %v", err)
+		// The scanner failed reading the line after the last complete one,
+		// so the error (an I/O failure or a line past the buffer cap)
+		// carries that line's number.
+		return nil, fmt.Errorf("temporal: line %d: read: %v", lineNo+1, err)
 	}
 	return b.Build(), nil
 }
@@ -111,23 +134,42 @@ func relabelID(m map[int64]NodeID, raw int64, next NodeID) (NodeID, NodeID) {
 	return next, next + 1
 }
 
-// LoadFile reads an edge-list file, transparently decompressing ".gz" paths.
+// LoadFile reads an edge-list file, transparently decompressing ".gz"
+// paths. With parallel loading enabled (LoadOptions.Workers), plain files
+// are memory-mapped (read wholesale when mapping is unavailable) and
+// chunked in place, while ".gz" files pipeline decompression with parsing:
+// the producer goroutine inflates while the workers parse.
 func LoadFile(path string, opts LoadOptions) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var r io.Reader = f
 	if strings.HasSuffix(path, ".gz") {
 		zr, err := gzip.NewReader(f)
 		if err != nil {
 			return nil, fmt.Errorf("temporal: gzip %s: %v", path, err)
 		}
 		defer zr.Close()
-		r = zr
+		if w := opts.loadWorkers(); w > 1 {
+			// File-backed: the pipeline may join the producer on early
+			// stops, which it must before the deferred Closes run.
+			src := newStreamSource(zr, defaultChunkSize, w)
+			src.fileBacked = true
+			return readEdgeListParallel(src, opts, w)
+		}
+		return ReadEdgeList(zr, opts)
 	}
-	return ReadEdgeList(r, opts)
+	if w := opts.loadWorkers(); w > 1 {
+		if data, unmap, ok := mmapFile(f); ok {
+			defer unmap()
+			return readEdgeListParallel(newMemSource(data, defaultChunkSize), opts, w)
+		}
+		src := newStreamSource(f, defaultChunkSize, w)
+		src.fileBacked = true
+		return readEdgeListParallel(src, opts, w)
+	}
+	return ReadEdgeList(f, opts)
 }
 
 // WriteEdgeList writes the graph as "u v t" lines in chronological order.
@@ -141,21 +183,31 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// SaveFile writes the graph to path as an edge list, gzip-compressed when the
-// path ends in ".gz".
+// SaveFile writes the graph to path as an edge list, gzip-compressed when
+// the path ends in ".gz". The file's Close error is propagated — on many
+// filesystems a full disk or a flush failure only surfaces there, and
+// swallowing it would report a truncated file as saved.
 func SaveFile(path string, g *Graph) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".gz") {
-		zw := gzip.NewWriter(f)
-		if err := WriteEdgeList(zw, g); err != nil {
-			zw.Close()
-			return err
-		}
-		return zw.Close()
+	werr := writeEdgeListTo(f, g, strings.HasSuffix(path, ".gz"))
+	cerr := f.Close()
+	if werr != nil {
+		return werr
 	}
-	return WriteEdgeList(f, g)
+	return cerr
+}
+
+func writeEdgeListTo(f *os.File, g *Graph, gz bool) error {
+	if !gz {
+		return WriteEdgeList(f, g)
+	}
+	zw := gzip.NewWriter(f)
+	if err := WriteEdgeList(zw, g); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
 }

@@ -1,0 +1,72 @@
+package temporal
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// benchEdgeListText builds a ~240k-line SNAP-style edge-list text once:
+// power-law-ish endpoints, non-decreasing timestamps, occasional comments —
+// the shape the ingestion pipeline sees on the paper's datasets.
+var benchEdgeListText = sync.OnceValue(func() []byte {
+	rng := rand.New(rand.NewSource(5))
+	var buf bytes.Buffer
+	tnow := int64(1_100_000_000)
+	for i := 0; i < 240_000; i++ {
+		if i%10_000 == 0 {
+			buf.WriteString("# checkpoint\n")
+		}
+		u := rng.Intn(1 + rng.Intn(40_000))
+		v := rng.Intn(1 + rng.Intn(40_000))
+		tnow += int64(rng.Intn(30))
+		fmt.Fprintf(&buf, "%d %d %d\n", u, v, tnow)
+	}
+	return buf.Bytes()
+})
+
+func benchLoad(b *testing.B, workers int) {
+	data := benchEdgeListText()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var edges int
+	for i := 0; i < b.N; i++ {
+		g, err := ReadEdgeList(bytes.NewReader(data), LoadOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges = g.NumEdges()
+	}
+	b.ReportMetric(float64(edges)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+func BenchmarkReadEdgeListSeq(b *testing.B) { benchLoad(b, 1) }
+
+func BenchmarkReadEdgeListParallel(b *testing.B) {
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchLoad(b, w) })
+	}
+}
+
+// BenchmarkBuildParallel isolates the CSR finalisation stage.
+func BenchmarkBuildParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	edges := randomEdges(rng, 40_000, 240_000, 1_000_000)
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				bu := NewBuilder(len(edges))
+				for _, e := range edges {
+					_ = bu.AddEdge(e.From, e.To, e.Time)
+				}
+				b.StartTimer()
+				bu.BuildParallel(w)
+			}
+		})
+	}
+}

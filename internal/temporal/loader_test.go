@@ -2,7 +2,10 @@ package temporal
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -111,6 +114,76 @@ func TestSaveLoadFileGzip(t *testing.T) {
 			t.Fatalf("%s: edges=%d, want %d", name, g2.NumEdges(), g.NumEdges())
 		}
 	}
+}
+
+// TestReadEdgeListScannerErrorLine pins the bugfix that scanner-level read
+// failures (I/O errors, overlong lines) carry the failing line's number
+// instead of an anonymous "read:" wrap.
+func TestReadEdgeListScannerErrorLine(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := ReadEdgeList(&failingReader{data: []byte("0 1 2\n1 2 3\n"), err: boom}, LoadOptions{Workers: 1})
+	if err == nil || !strings.Contains(err.Error(), "temporal: line 3: read: boom") {
+		t.Fatalf("want line-numbered read error, got %v", err)
+	}
+	// Same failure through the parallel pipeline.
+	_, perr := ReadEdgeList(&failingReader{data: []byte("0 1 2\n1 2 3\n"), err: boom}, LoadOptions{Workers: 4})
+	if perr == nil || perr.Error() != err.Error() {
+		t.Fatalf("parallel read error %v, want %v", perr, err)
+	}
+}
+
+func TestReadEdgeListTokenTooLongLine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates a 17MB line")
+	}
+	input := "0 1 2\n1 " + strings.Repeat("9", 17*1024*1024) + " 3\n2 3 4\n"
+	want, err := ReadEdgeList(strings.NewReader(input), LoadOptions{Workers: 1})
+	if err == nil || want != nil || !strings.Contains(err.Error(), "line 2") ||
+		!strings.Contains(err.Error(), "token too long") {
+		t.Fatalf("want line-2 token-too-long error, got %v", err)
+	}
+	for _, workers := range []int{2, 4} {
+		_, perr := ReadEdgeList(strings.NewReader(input), LoadOptions{Workers: workers})
+		if perr == nil || perr.Error() != err.Error() {
+			t.Fatalf("workers=%d: error %v, want %v", workers, perr, err)
+		}
+	}
+}
+
+// TestSaveFileWriteError covers the bugfix that SaveFile reports late write
+// and close failures instead of silently "succeeding": /dev/full accepts
+// the open but fails every flush with ENOSPC. (A true close-only failure
+// needs an interposing filesystem; the structural fix — single Close, its
+// error propagated — is exercised by the happy-path round-trip tests.)
+func TestSaveFileWriteError(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("needs /dev/full")
+	}
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("no /dev/full")
+	}
+	g := FromEdges([]Edge{{0, 1, 3}, {2, 1, 1}, {1, 0, 7}})
+	if err := SaveFile("/dev/full", g); err == nil {
+		t.Fatal("plain save to /dev/full reported success")
+	}
+	// Exercise the gzip branch against the same device via a symlink whose
+	// name carries the .gz suffix.
+	link := filepath.Join(t.TempDir(), "full.gz")
+	if err := os.Symlink("/dev/full", link); err != nil {
+		t.Skip("cannot symlink:", err)
+	}
+	g2 := FromEdges(bigEdgeSet(4096))
+	if err := SaveFile(link, g2); err == nil {
+		t.Fatal("gzip save to /dev/full reported success")
+	}
+}
+
+func bigEdgeSet(n int) []Edge {
+	edges := make([]Edge, n)
+	for i := range edges {
+		edges[i] = Edge{From: NodeID(i % 97), To: NodeID((i + 1) % 89), Time: Timestamp(i)}
+	}
+	return edges
 }
 
 func TestLoadFileMissing(t *testing.T) {

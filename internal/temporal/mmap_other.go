@@ -1,0 +1,11 @@
+//go:build !unix
+
+package temporal
+
+import "os"
+
+// mmapFile is unavailable on this platform; the loader falls back to
+// streaming reads.
+func mmapFile(*os.File) (data []byte, unmap func(), ok bool) {
+	return nil, nil, false
+}

@@ -1,0 +1,33 @@
+//go:build unix
+
+package temporal
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps a regular file read-only, returning the mapped bytes and an
+// unmap function. ok is false when the file is not a regular file or the
+// mapping fails — callers fall back to streaming reads. The mapping must be
+// released (and every parsed byte copied out) before unmap is called; the
+// loader copies all parsed data into the graph's columns, so nothing
+// outlives the map.
+func mmapFile(f *os.File) (data []byte, unmap func(), ok bool) {
+	fi, err := f.Stat()
+	if err != nil || !fi.Mode().IsRegular() {
+		return nil, nil, false
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, func() {}, true
+	}
+	if size != int64(int(size)) {
+		return nil, nil, false // larger than the address space
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false
+	}
+	return b, func() { _ = syscall.Munmap(b) }, true
+}

@@ -1,0 +1,143 @@
+package temporal
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseLinesEqual asserts the byte-level fast path and the reference
+// grammar agree on one line: same edge, same skip, same error text.
+func parseLinesEqual(t *testing.T, line string, comma bool) {
+	t.Helper()
+	we, ws, werr := ParseEdgeLine(line, comma)
+	ge, gs, gerr := parseEdgeLineBytes([]byte(line), comma)
+	if ws != gs || we != ge || (werr == nil) != (gerr == nil) ||
+		(werr != nil && werr.Error() != gerr.Error()) {
+		t.Fatalf("line %q comma=%v:\n reference: e=%+v skip=%v err=%v\n fast path: e=%+v skip=%v err=%v",
+			line, comma, we, ws, werr, ge, gs, gerr)
+	}
+}
+
+// fuzzCorpusLines extracts the string inputs from the checked-in
+// FuzzParseEdgeLine seed corpus, so the byte parser is held to the same
+// grammar corpus the fuzz target guards.
+func fuzzCorpusLines(t *testing.T) []string {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", "FuzzParseEdgeLine")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fuzz corpus: %v", err)
+	}
+	var lines []string
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range strings.Split(string(data), "\n") {
+			if !strings.HasPrefix(l, "string(") {
+				continue
+			}
+			q := strings.TrimSuffix(strings.TrimPrefix(l, "string("), ")")
+			s, err := strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("%s: unquote %q: %v", e.Name(), q, err)
+			}
+			lines = append(lines, s)
+		}
+	}
+	if len(lines) == 0 {
+		t.Fatal("no corpus lines found")
+	}
+	return lines
+}
+
+func TestParseEdgeLineBytesCorpus(t *testing.T) {
+	extra := []string{
+		"", " ", "\t", "# c", "  % c", "1 2 3", " 1\t2\v3 ", "1 2 3 4 5",
+		"+1 -2 +3", "-0 -0 -0", "01 002 0003", "1,2,3", ",,1,,2,,3,,", ",# not a comment?",
+		"9223372036854775807 -9223372036854775808 1",
+		"9223372036854775808 1 2", "-9223372036854775809 1 2",
+		"92233720368547758070000 1 2", "1 2", "x y z", "1 2 z", "1 z 3",
+		"+ 1 2", "- 1 2", "1 2 +", "0x10 1 2", "1_0 1 2", "1. 2 3", "1e3 2 3",
+		"7\u00a08\u00a09", "\u00a0# nbsp comment", "\u20281 2 3", "1\u20292 3",
+		"1 2 3\u00a0junk", "1 2 3x\u00a04", "\x001 2 3", "1 \x02 3", "1 2 3\r",
+	}
+	for _, line := range append(fuzzCorpusLines(t), extra...) {
+		parseLinesEqual(t, line, false)
+		parseLinesEqual(t, line, true)
+	}
+}
+
+func TestParseEdgeLineBytesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := []byte("0123456789 \t,-+#%xyz.\r\v\f\x00\xc2\xa0\xe2\x80")
+	n := 30000
+	if testing.Short() {
+		n = 5000
+	}
+	for i := 0; i < n; i++ {
+		b := make([]byte, rng.Intn(24))
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		parseLinesEqual(t, string(b), rng.Intn(2) == 0)
+	}
+	// Well-formed numeric lines, including boundary magnitudes.
+	for i := 0; i < n; i++ {
+		u := rng.Uint64() >> uint(rng.Intn(64))
+		v := rng.Uint64() >> uint(rng.Intn(64))
+		w := rng.Uint64() >> uint(rng.Intn(64))
+		line := fmt.Sprintf("%d %d %d", int64(u), int64(v), int64(w))
+		parseLinesEqual(t, line, false)
+		parseLinesEqual(t, line, true)
+	}
+}
+
+// TestParseChunkSteadyStateAllocs pins the acceptance criterion that the
+// chunk parse loop performs zero allocations per edge in steady state: with
+// columns grown once, re-parsing allocates nothing at all.
+func TestParseChunkSteadyStateAllocs(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&sb, "%d %d %d\n", i, i+1, i*3)
+	}
+	data := []byte(sb.String())
+	c := &rawChunk{}
+	c.grow(2001)
+	allocs := testing.AllocsPerRun(50, func() {
+		c.reset()
+		parseChunk(c, data, false)
+		if c.err != nil || len(c.u) != 2000 {
+			t.Fatalf("parse failed: err=%v rows=%d", c.err, len(c.u))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("parse loop allocates %.1f times per chunk, want 0", allocs)
+	}
+}
+
+func TestParseChunkLineAccounting(t *testing.T) {
+	c := &rawChunk{}
+	c.grow(16)
+	parseChunk(c, []byte("# head\n\n1 2 3\n%x\n4 5 6"), false)
+	if c.err != nil {
+		t.Fatal(c.err)
+	}
+	if c.lines != 5 || len(c.u) != 2 {
+		t.Fatalf("lines=%d rows=%d, want 5/2", c.lines, len(c.u))
+	}
+	if c.line[0] != 3 || c.line[1] != 5 {
+		t.Fatalf("row lines = %v, want [3 5]", c.line)
+	}
+	c.reset()
+	parseChunk(c, []byte("1 2 3\nbad\n4 5 6\n"), false)
+	if c.err == nil || c.errLine != 2 || len(c.u) != 1 {
+		t.Fatalf("err=%v errLine=%d rows=%d, want error at line 2 after 1 row", c.err, c.errLine, len(c.u))
+	}
+}
