@@ -11,19 +11,37 @@ import (
 // the center (8 non-isomorphic motifs).
 type Star4Counter = higher.Star4Counter
 
+// Star4Options configures the higher-order counters' parallel scheduling
+// (workers, degree threshold, chunking); counts are exact at any setting.
+type Star4Options = higher.Options
+
+// higherOptions maps the shared Option list onto the higher-order
+// counters' scheduling knobs. Only WithWorkers and WithDegreeThreshold
+// apply; the remaining options configure Count-specific behaviour and are
+// ignored here.
+func higherOptions(opts []Option) higher.Options {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return higher.Options{Workers: c.workers, DegreeThreshold: c.thrd}
+}
+
 // CountStar4 exactly counts the 4-node, 3-edge star motifs in g: a center
 // node with three in-window edges to three distinct neighbors. It derives
-// the counts from the same counter family as Count (see
-// internal/higher for the decomposition identity) and shares its exactness
-// guarantees.
-func CountStar4(g *Graph, delta Timestamp) (Star4Counter, error) {
+// the counts from the same counter family as Count (see internal/higher for
+// the decomposition identity) and shares its exactness guarantees. Counting
+// parallelises over centers with the same worker/scheduling machinery as
+// Count — WithWorkers and WithDegreeThreshold apply (default: all CPUs,
+// automatic threshold); counts are bit-identical at any setting.
+func CountStar4(g *Graph, delta Timestamp, opts ...Option) (Star4Counter, error) {
 	if g == nil {
 		return Star4Counter{}, errNilGraph
 	}
 	if delta < 0 {
 		return Star4Counter{}, errNegativeDelta(delta)
 	}
-	return higher.Count(g, delta), nil
+	return higher.CountStar4(g, delta, higherOptions(opts)), nil
 }
 
 var errNilGraph = temporalError("nil graph")
@@ -45,13 +63,15 @@ type Path4Label = higher.PathLabel
 
 // CountPath4 exactly counts the 4-node, 3-edge path motifs in g (edges
 // a–b, b–c, c–d over four distinct nodes within δ). Together with
-// CountStar4 this covers every connected 4-node 3-edge motif.
-func CountPath4(g *Graph, delta Timestamp) (Path4Counter, error) {
+// CountStar4 this covers every connected 4-node 3-edge motif. Counting
+// parallelises over middle edges — WithWorkers and WithDegreeThreshold
+// apply as in CountStar4.
+func CountPath4(g *Graph, delta Timestamp, opts ...Option) (Path4Counter, error) {
 	if g == nil {
 		return Path4Counter{}, errNilGraph
 	}
 	if delta < 0 {
 		return Path4Counter{}, errNegativeDelta(delta)
 	}
-	return higher.CountPaths(g, delta), nil
+	return higher.CountPath4(g, delta, higherOptions(opts)), nil
 }

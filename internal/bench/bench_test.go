@@ -147,6 +147,16 @@ func TestJSONReportLoadMetrics(t *testing.T) {
 		// this is small but never exactly zero.
 		t.Fatalf("load allocs/edge = %g, want > 0", d.LoadAllocsPerEdge)
 	}
+	if d.SigSamples <= 0 || d.SigWorkers <= 0 {
+		t.Fatalf("significance shape not recorded: samples=%d workers=%d", d.SigSamples, d.SigWorkers)
+	}
+	if d.SigNsOp <= 0 || d.SigSamplesPerSec <= 0 || d.SigSeqNsOp <= 0 {
+		t.Fatalf("significance not measured: ns=%d seq=%d rate=%g",
+			d.SigNsOp, d.SigSeqNsOp, d.SigSamplesPerSec)
+	}
+	if d.SigSpeedup <= 0 {
+		t.Fatalf("sig speedup = %g, want > 0", d.SigSpeedup)
+	}
 }
 
 func TestCapThreads(t *testing.T) {

@@ -10,13 +10,15 @@ import (
 	"hare/internal/engine"
 	"hare/internal/fast"
 	"hare/internal/motif"
+	"hare/internal/nullmodel"
 	"hare/internal/temporal"
 )
 
 // ReportSchema versions the JSON benchmark report format. Schema 2 added
 // the load_* fields (edge-list text parsing throughput, sequential and
-// parallel, and whole-load allocations per edge).
-const ReportSchema = 2
+// parallel, and whole-load allocations per edge). Schema 3 added the sig_*
+// fields (null-model ensemble throughput, parallel vs sequential).
+const ReportSchema = 3
 
 // DatasetReport holds one dataset's measured numbers. Timings are
 // best-of-Runs wall times; rates derive from them.
@@ -56,6 +58,18 @@ type DatasetReport struct {
 	// (full pass over all centers with a warmed-up reused Scratch).
 	AllocsPerCenter float64 `json:"allocs_per_center"`
 	BytesPerCenter  float64 `json:"bytes_per_center"`
+
+	// Significance: one TimeShuffle null-model ensemble of SigSamples
+	// samples (draw + count per sample), measured with the parallel engine
+	// at SigWorkers workers and again forced sequential (workers=1).
+	// SigSpeedup = sig_seq_ns_op / sig_ns_op — the scaling headline for the
+	// significance workload.
+	SigSamples       int     `json:"sig_samples"`
+	SigWorkers       int     `json:"sig_workers"`
+	SigNsOp          int64   `json:"sig_ns_op"`
+	SigSamplesPerSec float64 `json:"sig_samples_per_sec"`
+	SigSeqNsOp       int64   `json:"sig_seq_ns_op"`
+	SigSpeedup       float64 `json:"sig_speedup"`
 }
 
 // Report is the machine-readable benchmark report emitted by
@@ -151,6 +165,27 @@ func JSONReport(opts Options, runs int) (*Report, error) {
 		d.ParallelEdgesPerSec = rate(d.Edges, d.ParallelNsOp)
 
 		d.AllocsPerCenter, d.BytesPerCenter = measureHotPathAllocs(g, delta)
+
+		// Enough samples that the ensemble's deterministic aggregation
+		// chunks outnumber the CPUs — otherwise the worker clamp would cap
+		// the measurable speedup. SigWorkers records the parallelism the
+		// ensemble actually ran with (its Report.Workers), not the request.
+		sigSamples := max(16, 4*runtime.GOMAXPROCS(0))
+		d.SigSamples = sigSamples
+		runEnsemble := func(workers int) int {
+			e := nullmodel.Ensemble{Model: nullmodel.TimeShuffle, Samples: sigSamples, Seed: 1, Workers: workers}
+			rep, err := e.Run(g, delta)
+			if err != nil {
+				panic(err) // synthetic graphs and a valid model cannot fail
+			}
+			return rep.Workers
+		}
+		d.SigNsOp = bestOf(runs, func() { d.SigWorkers = runEnsemble(0) })
+		d.SigSamplesPerSec = rate(sigSamples, d.SigNsOp)
+		d.SigSeqNsOp = bestOf(runs, func() { runEnsemble(1) })
+		if d.SigNsOp > 0 {
+			d.SigSpeedup = float64(d.SigSeqNsOp) / float64(d.SigNsOp)
+		}
 
 		rep.Datasets = append(rep.Datasets, d)
 	}

@@ -1,0 +1,128 @@
+package brute
+
+import (
+	"math/rand"
+	"testing"
+
+	"hare/internal/higher"
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+func randomGraph4(r *rand.Rand, nodes, edges int, span int64) *temporal.Graph {
+	b := temporal.NewBuilder(edges)
+	for i := 0; i < edges; i++ {
+		u := temporal.NodeID(r.Intn(nodes))
+		v := temporal.NodeID(r.Intn(nodes))
+		if u == v {
+			v = (v + 1) % temporal.NodeID(nodes)
+		}
+		_ = b.AddEdge(u, v, r.Int63n(span))
+	}
+	return b.Build()
+}
+
+// Known instances pin the reference itself before it referees anything.
+func TestBruteStar4Known(t *testing.T) {
+	g := temporal.FromEdges([]temporal.Edge{
+		{From: 0, To: 1, Time: 1},
+		{From: 2, To: 0, Time: 2},
+		{From: 0, To: 3, Time: 3},
+	})
+	c := CountStar4(g, 10)
+	if c.Total() != 1 || c.At(motif.Out, motif.In, motif.Out) != 1 {
+		t.Fatalf("star reference wrong: %s", &c)
+	}
+	if c := CountStar4(g, 1); c.Total() != 0 {
+		t.Fatal("δ window ignored")
+	}
+}
+
+func TestBrutePath4Known(t *testing.T) {
+	// a→b (t1), b→c (t2), c→d (t3): one path, roles in temporal order
+	// f,m,g, all forward.
+	g := temporal.FromEdges([]temporal.Edge{
+		{From: 0, To: 1, Time: 1},
+		{From: 1, To: 2, Time: 2},
+		{From: 2, To: 3, Time: 3},
+	})
+	c := CountPath4(g, 10)
+	if c.Total() != 1 {
+		t.Fatalf("path reference total = %d, want 1", c.Total())
+	}
+	if got := c.At(higher.CanonicalPath(0, 1, 2, true, true, true)); got != 1 {
+		t.Fatalf("canonical forward path not counted: %v", c.Labels())
+	}
+	// A star and a triangle must contribute nothing.
+	star := temporal.FromEdges([]temporal.Edge{
+		{From: 0, To: 1, Time: 1}, {From: 0, To: 2, Time: 2}, {From: 0, To: 3, Time: 3},
+	})
+	if c := CountPath4(star, 10); c.Total() != 0 {
+		t.Fatal("star counted as path")
+	}
+	tri := temporal.FromEdges([]temporal.Edge{
+		{From: 0, To: 1, Time: 1}, {From: 1, To: 2, Time: 2}, {From: 2, To: 0, Time: 3},
+	})
+	if c := CountPath4(tri, 10); c.Total() != 0 {
+		t.Fatal("triangle counted as path")
+	}
+}
+
+// Differential: higher.CountStar4 — sequential and every parallel
+// scheduling regime — must agree bit-for-bit with exhaustive enumeration.
+// Run under -race in CI, this also vets the worker machinery.
+func TestDifferentialStar4(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph4(r, 3+r.Intn(10), 1+r.Intn(130), 1+int64(r.Intn(30)))
+		delta := int64(r.Intn(20))
+		want := CountStar4(g, delta)
+		for _, opts := range []higher.Options{
+			{Workers: 1},
+			{Workers: 4},
+			{Workers: 4, DegreeThreshold: 1}, // force the intra-center stage
+		} {
+			got := higher.CountStar4(g, delta, opts)
+			if got != want {
+				t.Fatalf("trial %d δ=%d opts %+v:\n got %s\nwant %s",
+					trial, delta, opts, &got, &want)
+			}
+		}
+	}
+}
+
+// Differential for the path counter, same regimes.
+func TestDifferentialPath4(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph4(r, 4+r.Intn(8), 1+r.Intn(110), 1+int64(r.Intn(25)))
+		delta := int64(r.Intn(15))
+		want := CountPath4(g, delta)
+		for _, opts := range []higher.Options{
+			{Workers: 1},
+			{Workers: 4},
+			{Workers: 4, DegreeThreshold: 1}, // every middle edge heavy
+		} {
+			got := higher.CountPath4(g, delta, opts)
+			if got != want {
+				t.Fatalf("trial %d δ=%d opts %+v: mismatch\n got %v\nwant %v",
+					trial, delta, opts, got.Labels(), want.Labels())
+			}
+		}
+	}
+}
+
+// Tie-heavy timestamps stress EdgeID rank derivation on both shapes.
+func TestDifferentialTieHeavy(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 12; trial++ {
+		g := randomGraph4(r, 4+r.Intn(5), 1+r.Intn(90), 1+int64(r.Intn(3)))
+		delta := int64(r.Intn(4))
+		if got, want := higher.CountStar4(g, delta, higher.Options{Workers: 4}), CountStar4(g, delta); got != want {
+			t.Fatalf("trial %d: star mismatch", trial)
+		}
+		if got, want := higher.CountPath4(g, delta, higher.Options{Workers: 4}), CountPath4(g, delta); got != want {
+			t.Fatalf("trial %d: path mismatch", trial)
+		}
+	}
+}

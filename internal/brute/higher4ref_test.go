@@ -1,0 +1,148 @@
+package brute
+
+import (
+	"hare/internal/higher"
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+// 4-node, 3-edge reference counters. Like Count they enumerate every
+// chronologically ordered edge triple within δ and classify its induced
+// shape from first principles — shared with the algorithms under test is
+// only the label *encoding* (motif.PairIndex / higher.CanonicalPath), never
+// the counting or window logic. They live in the test build (not brute's
+// shipped API) so the brute package itself stays free of a higher
+// dependency, which would cycle through the in-package tests of higher's
+// own dependencies (fast, engine).
+
+// CountStar4 exhaustively counts 4-node star instances: ordered triples
+// within δ whose edges share one common center and reach three distinct
+// far endpoints.
+func CountStar4(g *temporal.Graph, delta temporal.Timestamp) higher.Star4Counter {
+	var out higher.Star4Counter
+	edges := g.Edges()
+	forTriples(edges, delta, func(i, j, k int) {
+		e1, e2, e3 := edges[i], edges[j], edges[k]
+		for _, u := range [2]temporal.NodeID{e1.From, e1.To} {
+			if !incident4(e2, u) || !incident4(e3, u) {
+				continue
+			}
+			o1, o2, o3 := other4(e1, u), other4(e2, u), other4(e3, u)
+			if o1 == o2 || o1 == o3 || o2 == o3 {
+				continue
+			}
+			out[motif.PairIndex(dir4(e1, u), dir4(e2, u), dir4(e3, u))]++
+		}
+	})
+	return out
+}
+
+// CountPath4 exhaustively counts 4-node path instances: ordered triples
+// within δ over exactly four distinct nodes where one edge (the structural
+// middle) shares one endpoint with each of the other two, whose far ends
+// differ. The canonical label derives from the middle's stored orientation
+// exactly as documented on CountPaths.
+func CountPath4(g *temporal.Graph, delta temporal.Timestamp) higher.PathCounter {
+	var out higher.PathCounter
+	edges := g.Edges()
+	forTriples(edges, delta, func(i, j, k int) {
+		idx := [3]int{i, j, k}
+		// Try each edge in the middle role; a genuine path admits exactly
+		// one, so no instance can be double-counted.
+		for m := 0; m < 3; m++ {
+			mid := edges[idx[m]]
+			legF := edges[idx[(m+1)%3]]
+			legG := edges[idx[(m+2)%3]]
+			b, c := mid.From, mid.To
+			if b == c {
+				continue
+			}
+			// legF must touch b (not c); legG must touch c (not b) — try
+			// both assignments of the two non-middle edges.
+			for swap := 0; swap < 2; swap++ {
+				if swap == 1 {
+					legF, legG = legG, legF
+				}
+				a, okF := farEnd(legF, b, c)
+				d, okG := farEnd(legG, c, b)
+				if !okF || !okG || a == d {
+					continue
+				}
+				rankF := rankOf(idx[(m+1+swap)%3], idx) // index of legF after swap
+				rankG := rankOf(idx[(m+2-swap)%3], idx)
+				rankM := rankOf(idx[m], idx)
+				fwdF := legF.To == b   // f points into b: a→b
+				fwdG := legG.From == c // g points out of c: c→d
+				out[higher.CanonicalPath(rankF, rankM, rankG, fwdF, true, fwdG)]++
+			}
+		}
+	})
+	return out
+}
+
+// forTriples calls fn for every chronologically ordered triple i<j<k with
+// t_k − t_i ≤ δ (edges are EdgeID-sorted, so index order is the total
+// temporal order).
+func forTriples(edges []temporal.Edge, delta temporal.Timestamp, fn func(i, j, k int)) {
+	for i := 0; i < len(edges); i++ {
+		for j := i + 1; j < len(edges); j++ {
+			if edges[j].Time-edges[i].Time > delta {
+				break
+			}
+			for k := j + 1; k < len(edges); k++ {
+				if edges[k].Time-edges[i].Time > delta {
+					break
+				}
+				fn(i, j, k)
+			}
+		}
+	}
+}
+
+// farEnd returns the endpoint of leg opposite to anchor, requiring that leg
+// touches anchor exactly once and avoids the forbidden node (the middle's
+// other endpoint — a leg reaching it would close a triangle or multi-edge).
+func farEnd(leg temporal.Edge, anchor, forbidden temporal.NodeID) (temporal.NodeID, bool) {
+	var far temporal.NodeID
+	switch anchor {
+	case leg.From:
+		far = leg.To
+	case leg.To:
+		far = leg.From
+	default:
+		return 0, false
+	}
+	if far == anchor || far == forbidden {
+		return 0, false
+	}
+	return far, true
+}
+
+// rankOf returns the temporal rank (0..2) of index x within the sorted
+// triple idx (idx is ascending, so rank is the position).
+func rankOf(x int, idx [3]int) int {
+	switch x {
+	case idx[0]:
+		return 0
+	case idx[1]:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func incident4(e temporal.Edge, u temporal.NodeID) bool { return e.From == u || e.To == u }
+
+func other4(e temporal.Edge, u temporal.NodeID) temporal.NodeID {
+	if e.From == u {
+		return e.To
+	}
+	return e.From
+}
+
+func dir4(e temporal.Edge, u temporal.NodeID) motif.Dir {
+	if e.From == u {
+		return motif.Out
+	}
+	return motif.In
+}

@@ -1,0 +1,42 @@
+package engine_test
+
+import (
+	"sync"
+	"testing"
+
+	"hare/internal/engine"
+)
+
+// Dispatch must deliver every index exactly once, with in-range worker ids,
+// for any workers/chunk combination including the degenerate ones.
+func TestDispatchCoversRangeOnce(t *testing.T) {
+	for _, tc := range []struct{ workers, chunk, n int }{
+		{1, 64, 100}, {4, 1, 100}, {4, 7, 100}, {16, 64, 10},
+		{0, 0, 33}, // clamped to 1 worker, chunk 1
+		{8, 3, 0},  // empty range: no calls
+	} {
+		var mu sync.Mutex
+		seen := make([]int, tc.n)
+		calls := 0
+		engine.Dispatch(tc.workers, tc.chunk, tc.n, func(w, start, end int) {
+			if w < 0 || (tc.workers > 0 && w >= tc.workers) {
+				t.Errorf("worker id %d out of range", w)
+			}
+			mu.Lock()
+			calls++
+			for i := start; i < end; i++ {
+				seen[i]++
+			}
+			mu.Unlock()
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d chunk=%d: index %d delivered %d times",
+					tc.workers, tc.chunk, i, c)
+			}
+		}
+		if tc.n == 0 && calls != 0 {
+			t.Fatalf("empty range produced %d calls", calls)
+		}
+	}
+}

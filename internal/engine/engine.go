@@ -67,6 +67,10 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// EffectiveWorkers resolves Options.Workers to the goroutine count a run
+// would actually use (<= 0 selects GOMAXPROCS).
+func (o Options) EffectiveWorkers() int { return o.workers() }
+
 func (o Options) chunk() int {
 	if o.ChunkSize > 0 {
 		return o.ChunkSize
@@ -103,6 +107,51 @@ func EffectiveDegreeThreshold(g *temporal.Graph, opts Options) int {
 		return thrd
 	}
 	return temporal.TopKDegreeThreshold(g, 20)
+}
+
+// Dispatch is HARE's dynamic work scheduler, exported so sibling subsystems
+// (higher-order counting, null-model ensembles) parallelise with the same
+// machinery: workers goroutines repeatedly pull up-to-chunk-sized index
+// ranges [start, end) ⊂ [0, n) from a shared atomic cursor until the range
+// is exhausted, then Dispatch returns. body runs concurrently with itself;
+// the worker id in [0, workers) lets callers index per-worker accumulators.
+// workers and chunk below 1 are treated as 1; with one worker the whole
+// range is delivered in a single call on the caller's goroutine.
+func Dispatch(workers, chunk, n int, body func(worker, start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	if workers == 1 {
+		body(0, 0, n)
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := int64(chunk)
+			for {
+				end := cursor.Add(c)
+				start := end - c
+				if start >= int64(n) {
+					return
+				}
+				if end > int64(n) {
+					end = int64(n)
+				}
+				body(w, int(start), int(end))
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 func run(g *temporal.Graph, delta temporal.Timestamp, opts Options, doStar, doTri bool) *motif.Counts {
@@ -179,25 +228,10 @@ func interNode(g *temporal.Graph, delta temporal.Timestamp, opts Options,
 			}(w, lo, hi)
 		}
 	default:
-		chunk := int64(opts.chunk())
-		var cursor atomic.Int64
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for {
-					end := cursor.Add(chunk)
-					start := end - chunk
-					if start >= int64(len(nodes)) {
-						return
-					}
-					if end > int64(len(nodes)) {
-						end = int64(len(nodes))
-					}
-					countNodes(w, nodes[start:end])
-				}
-			}(w)
-		}
+		Dispatch(workers, opts.chunk(), len(nodes), func(w, start, end int) {
+			countNodes(w, nodes[start:end])
+		})
+		return
 	}
 	wg.Wait()
 }
@@ -208,30 +242,12 @@ func intraNode(g *temporal.Graph, u temporal.NodeID, delta temporal.Timestamp,
 	su := g.Seq(u)
 	// First-edge iterations near the start of S_u dominate (longer suffix to
 	// scan), so use small dynamic chunks rather than a static split.
-	chunk := int64(su.Len()/(workers*8) + 1)
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				end := cursor.Add(chunk)
-				start := end - chunk
-				if start >= int64(su.Len()) {
-					return
-				}
-				if end > int64(su.Len()) {
-					end = int64(su.Len())
-				}
-				if doStar {
-					fast.CountStarPairRange(su, delta, perWorker[w], scratch[w], int(start), int(end))
-				}
-				if doTri {
-					fast.CountTriRange(g, u, delta, &perWorker[w].Tri, false, int(start), int(end))
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
+	Dispatch(workers, su.Len()/(workers*8)+1, su.Len(), func(w, start, end int) {
+		if doStar {
+			fast.CountStarPairRange(su, delta, perWorker[w], scratch[w], start, end)
+		}
+		if doTri {
+			fast.CountTriRange(g, u, delta, &perWorker[w].Tri, false, start, end)
+		}
+	})
 }

@@ -1,10 +1,11 @@
-package engine
+package engine_test
 
 import (
 	"math/rand"
 	"testing"
 
 	"hare/internal/brute"
+	"hare/internal/engine"
 	"hare/internal/fast"
 	"hare/internal/motif"
 	"hare/internal/temporal"
@@ -45,7 +46,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 		delta := int64(1 + r.Intn(40))
 		want := fast.Count(g, delta).ToMatrix()
 		for _, workers := range []int{1, 2, 4, 8} {
-			got := Count(g, delta, Options{Workers: workers}).ToMatrix()
+			got := engine.Count(g, delta, engine.Options{Workers: workers}).ToMatrix()
 			if !got.Equal(&want) {
 				t.Fatalf("trial %d workers=%d: diff %v", trial, workers, got.Diff(&want))
 			}
@@ -59,7 +60,7 @@ func TestParallelMatchesBrute(t *testing.T) {
 		g := randomGraph(r, 4+r.Intn(10), 30+r.Intn(150), 40)
 		delta := int64(1 + r.Intn(25))
 		want := brute.Count(g, delta)
-		got := Count(g, delta, Options{Workers: 4}).ToMatrix()
+		got := engine.Count(g, delta, engine.Options{Workers: 4}).ToMatrix()
 		if !got.Equal(&want) {
 			t.Fatalf("trial %d: diff %v", trial, got.Diff(&want))
 		}
@@ -72,7 +73,7 @@ func TestHierarchicalThresholds(t *testing.T) {
 	delta := int64(60)
 	want := fast.Count(g, delta).ToMatrix()
 	for _, thrd := range []int{-1, 0, 1, 5, 50, 100000} {
-		got := Count(g, delta, Options{Workers: 6, DegreeThreshold: thrd}).ToMatrix()
+		got := engine.Count(g, delta, engine.Options{Workers: 6, DegreeThreshold: thrd}).ToMatrix()
 		if !got.Equal(&want) {
 			t.Fatalf("thrd=%d: diff %v", thrd, got.Diff(&want))
 		}
@@ -84,7 +85,7 @@ func TestStaticSchedule(t *testing.T) {
 	g := skewedGraph(r, 30, 1000, 100)
 	delta := int64(30)
 	want := fast.Count(g, delta).ToMatrix()
-	got := Count(g, delta, Options{Workers: 5, Schedule: ScheduleStatic, DegreeThreshold: -1}).ToMatrix()
+	got := engine.Count(g, delta, engine.Options{Workers: 5, Schedule: engine.ScheduleStatic, DegreeThreshold: -1}).ToMatrix()
 	if !got.Equal(&want) {
 		t.Fatalf("static schedule diff: %v", got.Diff(&want))
 	}
@@ -95,7 +96,7 @@ func TestCountStarPairOnly(t *testing.T) {
 	g := randomGraph(r, 12, 300, 60)
 	delta := int64(20)
 	want := fast.CountStarPair(g, delta)
-	got := CountStarPair(g, delta, Options{Workers: 4})
+	got := engine.CountStarPair(g, delta, engine.Options{Workers: 4})
 	if got.Star != want.Star || got.Pair != want.Pair {
 		t.Fatal("star/pair-only parallel run differs from sequential")
 	}
@@ -109,7 +110,7 @@ func TestCountTriOnly(t *testing.T) {
 	g := randomGraph(r, 12, 300, 60)
 	delta := int64(20)
 	wantM := fast.Count(g, delta).ToMatrix()
-	got := CountTri(g, delta, Options{Workers: 4}).ToMatrix()
+	got := engine.CountTri(g, delta, engine.Options{Workers: 4}).ToMatrix()
 	for _, l := range motif.TriLabels() {
 		if got.At(l) != wantM.At(l) {
 			t.Fatalf("%v = %d, want %d", l, got.At(l), wantM.At(l))
@@ -124,7 +125,7 @@ func TestZeroValueOptions(t *testing.T) {
 	g := temporal.FromEdges([]temporal.Edge{
 		{From: 0, To: 1, Time: 0}, {From: 0, To: 1, Time: 1}, {From: 0, To: 1, Time: 2},
 	})
-	m := Count(g, 10, Options{}).ToMatrix()
+	m := engine.Count(g, 10, engine.Options{}).ToMatrix()
 	if m.At(motif.Label{Row: 5, Col: 5}) != 1 {
 		t.Fatalf("M55 = %d, want 1", m.At(motif.Label{Row: 5, Col: 5}))
 	}
@@ -132,7 +133,7 @@ func TestZeroValueOptions(t *testing.T) {
 
 func TestEmptyGraphParallel(t *testing.T) {
 	g := temporal.FromEdges(nil)
-	m := Count(g, 10, Options{Workers: 8}).ToMatrix()
+	m := engine.Count(g, 10, engine.Options{Workers: 8}).ToMatrix()
 	if m.Total() != 0 {
 		t.Fatalf("empty graph counted %d", m.Total())
 	}
@@ -143,7 +144,7 @@ func TestManyMoreWorkersThanNodes(t *testing.T) {
 	g := randomGraph(r, 4, 60, 20)
 	delta := int64(10)
 	want := fast.Count(g, delta).ToMatrix()
-	got := Count(g, delta, Options{Workers: 32, ChunkSize: 1}).ToMatrix()
+	got := engine.Count(g, delta, engine.Options{Workers: 32, ChunkSize: 1}).ToMatrix()
 	if !got.Equal(&want) {
 		t.Fatalf("diff %v", got.Diff(&want))
 	}

@@ -1,0 +1,211 @@
+package higher
+
+import (
+	"runtime"
+
+	"hare/internal/engine"
+	"hare/internal/fast"
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+// Options configures the parallel higher-order counters. The zero value
+// means: one worker per CPU, automatic degree threshold (the HARE top-20
+// heuristic), default chunking. Both counters are exact at any setting —
+// the options only steer scheduling.
+type Options struct {
+	// Workers is the number of goroutines (<= 0 selects GOMAXPROCS;
+	// 1 runs the sequential reference loops).
+	Workers int
+	// DegreeThreshold splits light from heavy work the same way the HARE
+	// engine does: centers (stars) or middle-edge endpoints (paths) with
+	// temporal degree strictly greater are scheduled with finer-grained
+	// parallelism. 0 selects the automatic top-20 heuristic; negative
+	// disables the heavy stage.
+	DegreeThreshold int
+	// ChunkSize is the number of light work items per dynamic work unit
+	// (default 64).
+	ChunkSize int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) chunk() int {
+	if o.ChunkSize > 0 {
+		return o.ChunkSize
+	}
+	return 64
+}
+
+// effThrd resolves the degree threshold like the HARE engine: the explicit
+// value when set, the automatic top-20 heuristic when 0. A non-positive
+// result means "no heavy stage" (tiny graph, or explicitly disabled).
+func effThrd(g *temporal.Graph, opts Options) int {
+	if opts.DegreeThreshold != 0 {
+		return opts.DegreeThreshold
+	}
+	return temporal.TopKDegreeThreshold(g, 20)
+}
+
+// CountStar4 counts the 4-node, 3-edge star motifs with the engine's
+// scheduling machinery: light centers are pulled in dynamic chunks, heavy
+// centers (degree > thrd) are processed one at a time with both counter
+// families range-split across workers and the complement applied after the
+// partials merge. Counts are bit-identical to the sequential Count at any
+// worker count (per-center tallies are exact integer sums).
+func CountStar4(g *temporal.Graph, delta temporal.Timestamp, opts Options) Star4Counter {
+	workers := opts.workers()
+	if workers == 1 {
+		return Count(g, delta)
+	}
+	thrd := effThrd(g, opts)
+	var light, heavy []temporal.NodeID
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.Degree(temporal.NodeID(u))
+		if d < 3 {
+			continue // a 4-node star needs three incident edges
+		}
+		if thrd > 0 && d > thrd {
+			heavy = append(heavy, temporal.NodeID(u))
+		} else {
+			light = append(light, temporal.NodeID(u))
+		}
+	}
+	scratch := make([]*fast.Scratch, workers)
+	perW := make([]Star4Counter, workers)
+	for w := range scratch {
+		scratch[w] = fast.NewScratch()
+		scratch[w].Grow(g.NumNodes())
+	}
+
+	// Stage 1: inter-center parallelism over light centers.
+	engine.Dispatch(workers, opts.chunk(), len(light), func(w, lo, hi int) {
+		for _, u := range light[lo:hi] {
+			s4, _ := CountNode(g, u, delta, scratch[w])
+			perW[w].Add(&s4)
+		}
+	})
+	var total Star4Counter
+	for w := range perW {
+		total.Add(&perW[w])
+	}
+
+	// Stage 2: intra-center parallelism, one heavy center at a time. The
+	// all-triples counter splits by last-edge index, FAST-Star by first-edge
+	// index; both partitions are exact, so the per-center sums equal the
+	// sequential counters and the complement identity applies unchanged.
+	allPart := make([][8]uint64, workers)
+	countsPart := make([]motif.Counts, workers)
+	for _, u := range heavy {
+		su := g.Seq(u)
+		for w := 0; w < workers; w++ {
+			allPart[w] = [8]uint64{}
+			countsPart[w] = motif.Counts{TriMultiplicity: 1}
+		}
+		engine.Dispatch(workers, su.Len()/(workers*8)+1, su.Len(), func(w, lo, hi int) {
+			countAllTriplesRange(su, delta, &allPart[w], lo, hi)
+			fast.CountStarPairRange(su, delta, &countsPart[w], scratch[w], lo, hi)
+		})
+		var all [8]uint64
+		counts := motif.Counts{TriMultiplicity: 1}
+		for w := 0; w < workers; w++ {
+			for i := range all {
+				all[i] += allPart[w][i]
+			}
+			counts.Add(&countsPart[w])
+		}
+		for i := range all {
+			d1, d2, d3 := motif.PairDirs(i)
+			v := all[i]
+			v -= counts.Star.At(motif.StarI, d1, d2, d3)
+			v -= counts.Star.At(motif.StarII, d1, d2, d3)
+			v -= counts.Star.At(motif.StarIII, d1, d2, d3)
+			v -= counts.Pair.At(d1, d2, d3)
+			total[i] += v
+		}
+	}
+	return total
+}
+
+// countAllTriplesRange tallies the ordered triples whose *last* edge index
+// k lies in [lo, hi) — the range analogue of countAllTriples. The sliding
+// window state at k = lo is reconstructed by replaying the in-window prefix
+// (O(window) work), after which the loop proceeds exactly as the sequential
+// one; a partition of [0, n) therefore sums to the full counter.
+func countAllTriplesRange(seq temporal.Seq, delta temporal.Timestamp, out *[8]uint64, lo, hi int) {
+	n := seq.Len()
+	if n < 3 || lo >= hi {
+		return
+	}
+	times, outs := seq.Time, seq.Out
+	var c1 [2]uint64
+	var c2 [4]uint64
+	// Window start for k = lo, then replay the additions the sequential
+	// loop would have accumulated for indices [start, lo).
+	start := seq.LowerBoundTime(times[lo] - delta)
+	for x := start; x < lo; x++ {
+		z := int(motif.DirOf(outs[x]))
+		c2[0<<1|z] += c1[0]
+		c2[1<<1|z] += c1[1]
+		c1[z]++
+	}
+	for k := lo; k < hi; k++ {
+		for times[start] < times[k]-delta {
+			x := int(motif.DirOf(outs[start]))
+			c1[x]--
+			c2[x<<1|0] -= c1[0]
+			c2[x<<1|1] -= c1[1]
+			start++
+		}
+		z := int(motif.DirOf(outs[k]))
+		for xy := 0; xy < 4; xy++ {
+			out[xy<<1|z] += c2[xy]
+		}
+		c2[0<<1|z] += c1[0]
+		c2[1<<1|z] += c1[1]
+		c1[z]++
+	}
+}
+
+// CountPath4 counts the 4-node, 3-edge path motifs in parallel over middle
+// edges. Middle edges with a heavy endpoint (degree > thrd) dominate the
+// O(d(b)·d(c)) per-edge cost, so they are scheduled one edge per work unit
+// after the chunked light edges — no worker inherits a contiguous block of
+// hubs. Bit-identical to the sequential CountPaths at any worker count.
+func CountPath4(g *temporal.Graph, delta temporal.Timestamp, opts Options) PathCounter {
+	workers := opts.workers()
+	if workers == 1 {
+		return CountPaths(g, delta)
+	}
+	thrd := effThrd(g, opts)
+	src, dst := g.Src(), g.Dst()
+	var light, heavy []temporal.EdgeID
+	for id := 0; id < g.NumEdges(); id++ {
+		if thrd > 0 && (g.Degree(src[id]) > thrd || g.Degree(dst[id]) > thrd) {
+			heavy = append(heavy, temporal.EdgeID(id))
+		} else {
+			light = append(light, temporal.EdgeID(id))
+		}
+	}
+	perW := make([]PathCounter, workers)
+	engine.Dispatch(workers, opts.chunk(), len(light), func(w, lo, hi int) {
+		for _, id := range light[lo:hi] {
+			countPathsMiddle(g, id, delta, &perW[w])
+		}
+	})
+	engine.Dispatch(workers, 1, len(heavy), func(w, lo, hi int) {
+		for _, id := range heavy[lo:hi] {
+			countPathsMiddle(g, id, delta, &perW[w])
+		}
+	})
+	var total PathCounter
+	for w := range perW {
+		total.Add(&perW[w])
+	}
+	return total
+}

@@ -1,0 +1,172 @@
+package higher
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hare/internal/temporal"
+)
+
+// hubGraph plants a handful of very-high-degree centers on a random
+// background so the heavy (intra-center / heavy-middle) stages actually run.
+func hubGraph(r *rand.Rand, nodes, edges, hubEdges int, span int64) *temporal.Graph {
+	b := temporal.NewBuilder(edges + hubEdges)
+	for i := 0; i < edges; i++ {
+		u := temporal.NodeID(r.Intn(nodes))
+		v := temporal.NodeID(r.Intn(nodes))
+		if u == v {
+			v = (v + 1) % temporal.NodeID(nodes)
+		}
+		_ = b.AddEdge(u, v, r.Int63n(span))
+	}
+	for i := 0; i < hubEdges; i++ {
+		v := temporal.NodeID(1 + r.Intn(nodes-1))
+		if r.Intn(2) == 0 {
+			_ = b.AddEdge(0, v, r.Int63n(span))
+		} else {
+			_ = b.AddEdge(v, 0, r.Int63n(span))
+		}
+	}
+	return b.Build()
+}
+
+// The parallel star counter must be bit-identical to the sequential
+// reference for every scheduling regime: auto threshold, everything-heavy,
+// heavy stage disabled, workers beyond the center count.
+func TestCountStar4MatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 12; trial++ {
+		g := hubGraph(r, 4+r.Intn(12), 40+r.Intn(150), 60+r.Intn(60), 1+int64(r.Intn(40)))
+		delta := int64(1 + r.Intn(25))
+		want := Count(g, delta)
+		for _, opts := range []Options{
+			{Workers: 4},
+			{Workers: 4, DegreeThreshold: 1, ChunkSize: 3}, // all active centers heavy
+			{Workers: 4, DegreeThreshold: -1},              // heavy stage disabled
+			{Workers: 32},
+		} {
+			got := CountStar4(g, delta, opts)
+			if got != want {
+				t.Fatalf("trial %d opts %+v:\n got %s\nwant %s", trial, opts, &got, &want)
+			}
+		}
+		if got := CountStar4(g, delta, Options{Workers: 1}); got != want {
+			t.Fatalf("trial %d: workers=1 path diverged", trial)
+		}
+	}
+}
+
+// Same contract for the path counter across its scheduling regimes.
+func TestCountPath4MatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 10; trial++ {
+		g := hubGraph(r, 4+r.Intn(10), 30+r.Intn(120), 50+r.Intn(50), 1+int64(r.Intn(30)))
+		delta := int64(1 + r.Intn(20))
+		want := CountPaths(g, delta)
+		for _, opts := range []Options{
+			{Workers: 4},
+			{Workers: 4, DegreeThreshold: 1, ChunkSize: 5}, // every middle edge heavy
+			{Workers: 4, DegreeThreshold: -1},
+			{Workers: 1},
+		} {
+			got := CountPath4(g, delta, opts)
+			if got != want {
+				t.Fatalf("trial %d opts %+v: parallel paths diverged", trial, opts)
+			}
+		}
+	}
+}
+
+// Any partition of [0, n) by last-edge index must sum to the full
+// all-triples counter — the invariant the intra-center split rests on.
+func TestCountAllTriplesRangePartition(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 20; trial++ {
+		g := hubGraph(r, 3+r.Intn(5), 20+r.Intn(80), 0, 1+int64(r.Intn(10)))
+		delta := int64(r.Intn(8))
+		for u := 0; u < g.NumNodes(); u++ {
+			seq := g.Seq(temporal.NodeID(u))
+			var want [8]uint64
+			countAllTriples(seq, delta, &want)
+			// Random 3-way split.
+			n := seq.Len()
+			a, b := 0, 0
+			if n > 0 {
+				a, b = r.Intn(n+1), r.Intn(n+1)
+			}
+			if a > b {
+				a, b = b, a
+			}
+			var got [8]uint64
+			countAllTriplesRange(seq, delta, &got, 0, a)
+			countAllTriplesRange(seq, delta, &got, a, b)
+			countAllTriplesRange(seq, delta, &got, b, n)
+			if got != want {
+				t.Fatalf("trial %d node %d split (%d,%d,%d): got %v want %v",
+					trial, u, a, b, n, got, want)
+			}
+		}
+	}
+}
+
+// Centers with fewer than three incident edges cannot host a 4-node star
+// and must be skipped, not scheduled.
+func TestCountStar4SkipsLowDegreeCenters(t *testing.T) {
+	g := temporal.FromEdges([]temporal.Edge{
+		{From: 0, To: 1, Time: 1},
+		{From: 2, To: 0, Time: 2},
+		{From: 0, To: 3, Time: 3},
+		{From: 5, To: 6, Time: 4}, // degree-1 bystanders
+	})
+	got := CountStar4(g, 10, Options{Workers: 4})
+	if want := Count(g, 10); got != want {
+		t.Fatalf("got %s want %s", &got, &want)
+	}
+	if got.Total() != 1 {
+		t.Fatalf("total = %d, want 1", got.Total())
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	if (Options{}).workers() < 1 {
+		t.Fatal("zero Options must resolve to >= 1 worker")
+	}
+	if (Options{Workers: 3}).workers() != 3 {
+		t.Fatal("explicit workers ignored")
+	}
+	if (Options{}).chunk() != 64 || (Options{ChunkSize: 7}).chunk() != 7 {
+		t.Fatal("chunk defaults wrong")
+	}
+	g := temporal.FromEdges([]temporal.Edge{{From: 0, To: 1, Time: 0}})
+	if effThrd(g, Options{DegreeThreshold: 5}) != 5 {
+		t.Fatal("explicit threshold ignored")
+	}
+	if effThrd(g, Options{}) != 0 {
+		t.Fatal("tiny graph should have no heavy stage")
+	}
+}
+
+func BenchmarkCountStar4(b *testing.B) {
+	r := rand.New(rand.NewSource(91))
+	g := hubGraph(r, 400, 30_000, 8_000, 200_000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				CountStar4(g, 5_000, Options{Workers: workers})
+			}
+		})
+	}
+}
+
+func BenchmarkCountPath4(b *testing.B) {
+	r := rand.New(rand.NewSource(92))
+	g := hubGraph(r, 400, 12_000, 3_000, 200_000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				CountPath4(g, 2_000, Options{Workers: workers})
+			}
+		})
+	}
+}

@@ -160,38 +160,43 @@ func (c *PathCounter) Labels() []struct {
 // higher-order family, per the paper's §VI.
 func CountPaths(g *temporal.Graph, delta temporal.Timestamp) PathCounter {
 	var out PathCounter
-	src, dst, ts := g.Src(), g.Dst(), g.Times()
-	for id := range ts {
-		mid := temporal.EdgeID(id)
-		b, c := src[id], dst[id]
-		mt := ts[id]
-		fw := windowAround(g.Seq(b), mt, delta)
-		gw := windowAround(g.Seq(c), mt, delta)
-		for fi := 0; fi < fw.Len(); fi++ {
-			fID, fOther := fw.ID[fi], fw.Other[fi]
-			if fID == mid || fOther == c {
-				continue // multi-edge on the middle pair: not a path
-			}
-			fTime, fOut := fw.Time[fi], fw.Out[fi]
-			for gi := 0; gi < gw.Len(); gi++ {
-				gID, gOther := gw.ID[gi], gw.Other[gi]
-				if gID == mid || gOther == b || gOther == fOther {
-					continue // triangle or repeated node: not a path
-				}
-				if span3(fTime, mt, gw.Time[gi]) > delta {
-					continue
-				}
-				// Temporal ranks by EdgeID (total order).
-				rankF, rankM, rankG := ranks(fID, mid, gID)
-				// Directions along a→b→c→d: f forward means a→b, i.e. f
-				// points *into* b; m forward means b→c (always true for
-				// the stored orientation); g forward means c→d, i.e. g
-				// points *out of* c.
-				out[CanonicalPath(rankF, rankM, rankG, !fOut, true, gw.Out[gi])]++
-			}
-		}
+	for id := 0; id < g.NumEdges(); id++ {
+		countPathsMiddle(g, temporal.EdgeID(id), delta, &out)
 	}
 	return out
+}
+
+// countPathsMiddle tallies every path instance whose structural middle is
+// the given edge. Each instance has a unique middle, so per-edge tallies
+// sum without correction — the unit of work for the parallel CountPath4.
+func countPathsMiddle(g *temporal.Graph, mid temporal.EdgeID, delta temporal.Timestamp, out *PathCounter) {
+	b, c := g.Src()[mid], g.Dst()[mid]
+	mt := g.Times()[mid]
+	fw := windowAround(g.Seq(b), mt, delta)
+	gw := windowAround(g.Seq(c), mt, delta)
+	for fi := 0; fi < fw.Len(); fi++ {
+		fID, fOther := fw.ID[fi], fw.Other[fi]
+		if fID == mid || fOther == c {
+			continue // multi-edge on the middle pair: not a path
+		}
+		fTime, fOut := fw.Time[fi], fw.Out[fi]
+		for gi := 0; gi < gw.Len(); gi++ {
+			gID, gOther := gw.ID[gi], gw.Other[gi]
+			if gID == mid || gOther == b || gOther == fOther {
+				continue // triangle or repeated node: not a path
+			}
+			if span3(fTime, mt, gw.Time[gi]) > delta {
+				continue
+			}
+			// Temporal ranks by EdgeID (total order).
+			rankF, rankM, rankG := ranks(fID, mid, gID)
+			// Directions along a→b→c→d: f forward means a→b, i.e. f
+			// points *into* b; m forward means b→c (always true for
+			// the stored orientation); g forward means c→d, i.e. g
+			// points *out of* c.
+			out[CanonicalPath(rankF, rankM, rankG, !fOut, true, gw.Out[gi])]++
+		}
+	}
 }
 
 // windowAround returns the half-edges with |t − center| ≤ δ.

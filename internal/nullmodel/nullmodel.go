@@ -13,6 +13,11 @@
 //   - DegreeRewire swaps the targets of random edge pairs: in- and
 //     out-degree sequences and the timestamp sequence are preserved while
 //     the wiring is randomised. This isolates *structural* significance.
+//
+// Sampling and counting are driven by Ensemble, which draws and counts the
+// null samples in parallel (one in-place Sampler per worker) and aggregates
+// per-motif moments deterministically: a fixed seed gives bit-identical
+// z-scores at any worker count.
 package nullmodel
 
 import (
@@ -20,7 +25,6 @@ import (
 	"math"
 	"math/rand"
 
-	"hare/internal/engine"
 	"hare/internal/motif"
 	"hare/internal/temporal"
 )
@@ -46,37 +50,69 @@ func (m Model) String() string {
 	return fmt.Sprintf("Model(%d)", int(m))
 }
 
-// Sample draws one randomised graph under the given model.
-func Sample(g *temporal.Graph, model Model, seed int64) (*temporal.Graph, error) {
+// ParseModel parses a model name as printed by Model.String.
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "time-shuffle":
+		return TimeShuffle, nil
+	case "degree-rewire":
+		return DegreeRewire, nil
+	}
+	return 0, fmt.Errorf("nullmodel: unknown model %q (want time-shuffle or degree-rewire)", s)
+}
+
+// mutate applies the model's randomisation to edges in place. The RNG
+// stream depends only on (model, seed) — never on worker count or on
+// whether the caller is the copy-based Sample or the in-place Sampler — so
+// every sampling path draws bit-identical samples for a given seed.
+func mutate(edges []temporal.Edge, model Model, seed int64) error {
 	r := rand.New(rand.NewSource(seed))
-	src := g.Edges()
-	edges := append([]temporal.Edge(nil), src...)
 	switch model {
 	case TimeShuffle:
-		times := make([]temporal.Timestamp, len(edges))
-		for i, e := range edges {
-			times[i] = e.Time
-		}
-		r.Shuffle(len(times), func(i, j int) { times[i], times[j] = times[j], times[i] })
-		for i := range edges {
-			edges[i].Time = times[i]
-		}
+		r.Shuffle(len(edges), func(i, j int) {
+			edges[i].Time, edges[j].Time = edges[j].Time, edges[i].Time
+		})
 	case DegreeRewire:
-		attempts := 10 * len(edges)
-		for a := 0; a < attempts; a++ {
-			i, j := r.Intn(len(edges)), r.Intn(len(edges))
-			if i == j {
-				continue
-			}
-			ei, ej := edges[i], edges[j]
-			// Swap targets; reject swaps that create self-loops.
-			if ei.From == ej.To || ej.From == ei.To {
-				continue
-			}
-			edges[i].To, edges[j].To = ej.To, ei.To
-		}
+		rewire(edges, r)
 	default:
-		return nil, fmt.Errorf("nullmodel: unknown model %v", model)
+		return fmt.Errorf("nullmodel: unknown model %v", model)
+	}
+	return nil
+}
+
+// rewire performs 10·|E| double-edge target-swap attempts in place. A swap
+// is applied only when neither resulting edge is a self-loop: the graph
+// builder drops self-loops (mirroring the loader's self-loop accounting,
+// Graph.SelfLoopsDropped), so letting one through would silently shrink the
+// sample by an edge and break the degree-sequence invariant the model
+// exists to preserve. Both Sample and Sampler route through this one
+// function so the rejection rule cannot drift between the two paths.
+func rewire(edges []temporal.Edge, r *rand.Rand) {
+	attempts := 10 * len(edges)
+	for a := 0; a < attempts; a++ {
+		i, j := r.Intn(len(edges)), r.Intn(len(edges))
+		if i == j {
+			continue
+		}
+		ei, ej := edges[i], edges[j]
+		// Swapping targets turns (ei.From→ei.To, ej.From→ej.To) into
+		// (ei.From→ej.To, ej.From→ei.To); reject the swap when either new
+		// edge would be a self-loop.
+		if ei.From == ej.To || ej.From == ei.To {
+			continue
+		}
+		edges[i].To, edges[j].To = ej.To, ei.To
+	}
+}
+
+// Sample draws one randomised graph under the given model. It copies the
+// edge list and builds a fresh graph per call; ensembles should prefer
+// Sampler, which reuses one scratch graph across samples and draws
+// bit-identical samples for the same seeds.
+func Sample(g *temporal.Graph, model Model, seed int64) (*temporal.Graph, error) {
+	edges := append([]temporal.Edge(nil), g.Edges()...)
+	if err := mutate(edges, model, seed); err != nil {
+		return nil, err
 	}
 	return temporal.FromEdges(edges), nil
 }
@@ -87,9 +123,12 @@ type Options struct {
 	Model Model
 	// Trials is the number of null samples (default 20).
 	Trials int
-	// Seed feeds the deterministic RNG chain.
+	// Seed feeds the deterministic RNG chain: sample t draws from seed
+	// Seed + t·7919, so results do not depend on scheduling.
 	Seed int64
-	// Workers is passed to the counting engine (0 = all CPUs).
+	// Workers is the number of worker goroutines drawing and counting null
+	// samples concurrently — and the engine parallelism for the real-graph
+	// count (0 = all CPUs). Any value yields bit-identical statistics.
 	Workers int
 }
 
@@ -104,9 +143,17 @@ func (o Options) trials() int {
 type Report struct {
 	Model  Model
 	Trials int
-	Real   motif.Matrix
-	Mean   [6][6]float64
-	Std    [6][6]float64
+	// Workers is the worker count the ensemble ran with (informational —
+	// it does not affect any statistic).
+	Workers int
+	Real    motif.Matrix
+	Mean    [6][6]float64
+	Std     [6][6]float64
+	// PUpper and PLower are add-one-smoothed empirical tail p-values:
+	// (1 + #{null ≥ real}) / (Trials + 1) and the ≤ analogue. They are never
+	// exactly 0 — N samples cannot certify an event rarer than 1/(N+1).
+	PUpper [6][6]float64
+	PLower [6][6]float64
 }
 
 // MeanAt returns the null-model mean count for a label.
@@ -114,6 +161,14 @@ func (r *Report) MeanAt(l motif.Label) float64 { return r.Mean[l.Row-1][l.Col-1]
 
 // StdAt returns the null-model standard deviation for a label.
 func (r *Report) StdAt(l motif.Label) float64 { return r.Std[l.Row-1][l.Col-1] }
+
+// PUpperAt returns the empirical upper-tail p-value for a label: small
+// values mean the real count is significantly *over*-represented.
+func (r *Report) PUpperAt(l motif.Label) float64 { return r.PUpper[l.Row-1][l.Col-1] }
+
+// PLowerAt returns the empirical lower-tail p-value for a label: small
+// values mean the real count is significantly *under*-represented.
+func (r *Report) PLowerAt(l motif.Label) float64 { return r.PLower[l.Row-1][l.Col-1] }
 
 // ZScore returns (real − mean)/std for a label. A zero-variance null with a
 // matching real count scores 0; with a differing real count it returns ±Inf.
@@ -164,38 +219,8 @@ func (r *Report) TopSignificant(n int) []motif.LabelCount {
 }
 
 // Significance counts motifs in g and in Trials null samples, returning
-// per-motif statistics.
+// per-motif statistics. It is the one-call form of Ensemble.Run.
 func Significance(g *temporal.Graph, delta temporal.Timestamp, opts Options) (*Report, error) {
-	rep := &Report{Model: opts.Model, Trials: opts.trials()}
-	eo := engine.Options{Workers: opts.Workers}
-	rep.Real = engine.Count(g, delta, eo).ToMatrix()
-
-	var sum, sumSq [6][6]float64
-	for t := 0; t < rep.Trials; t++ {
-		sample, err := Sample(g, opts.Model, opts.Seed+int64(t)*7919)
-		if err != nil {
-			return nil, err
-		}
-		m := engine.Count(sample, delta, eo).ToMatrix()
-		for i := 0; i < 6; i++ {
-			for j := 0; j < 6; j++ {
-				v := float64(m[i][j])
-				sum[i][j] += v
-				sumSq[i][j] += v * v
-			}
-		}
-	}
-	n := float64(rep.Trials)
-	for i := 0; i < 6; i++ {
-		for j := 0; j < 6; j++ {
-			mean := sum[i][j] / n
-			rep.Mean[i][j] = mean
-			variance := sumSq[i][j]/n - mean*mean
-			if variance < 0 {
-				variance = 0
-			}
-			rep.Std[i][j] = math.Sqrt(variance)
-		}
-	}
-	return rep, nil
+	e := &Ensemble{Model: opts.Model, Samples: opts.trials(), Seed: opts.Seed, Workers: opts.Workers}
+	return e.Run(g, delta)
 }

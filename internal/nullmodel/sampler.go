@@ -1,0 +1,39 @@
+package nullmodel
+
+import (
+	"hare/internal/temporal"
+)
+
+// Sampler draws null samples in place: the base graph's edge list is copied
+// into a reusable buffer, mutated columnarly (TimeShuffle permutes the
+// timestamp column, DegreeRewire rewires the target column), and rebuilt
+// onto one reusable scratch graph. An ensemble therefore allocates O(1)
+// graphs no matter how many samples it draws, instead of a FromEdges rebuild
+// per sample.
+//
+// Samples are bit-identical to the copy-based Sample for the same seed (the
+// two share the mutation code and the RNG stream).
+//
+// A Sampler is not safe for concurrent use; ensembles run one per worker.
+type Sampler struct {
+	base  *temporal.Graph
+	model Model
+	buf   []temporal.Edge
+	rb    temporal.Rebuilder
+}
+
+// NewSampler returns a Sampler drawing from g under the given model.
+func NewSampler(g *temporal.Graph, model Model) *Sampler {
+	return &Sampler{base: g, model: model}
+}
+
+// Sample draws the null sample for one seed. The returned graph aliases the
+// Sampler's scratch storage: the next Sample call overwrites it, so callers
+// that need it longer must copy it (or use the package-level Sample).
+func (s *Sampler) Sample(seed int64) (*temporal.Graph, error) {
+	s.buf = append(s.buf[:0], s.base.Edges()...)
+	if err := mutate(s.buf, s.model, seed); err != nil {
+		return nil, err
+	}
+	return s.rb.Rebuild(s.buf), nil
+}

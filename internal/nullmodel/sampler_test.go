@@ -1,0 +1,224 @@
+package nullmodel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hare/internal/temporal"
+)
+
+// edgesEqual compares the chronologically sorted edge lists of two graphs.
+func edgesEqual(a, b *temporal.Graph) bool {
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		return false
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The in-place Sampler must draw samples bit-identical to the copy-based
+// Sample for the same seed, across models, seeds, and scratch reuse.
+func TestSamplerMatchesSample(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := randomGraph(r, 25, 500, 800)
+	for _, model := range []Model{TimeShuffle, DegreeRewire} {
+		s := NewSampler(g, model)
+		for seed := int64(0); seed < 8; seed++ {
+			want, err := Sample(g, model, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Sample(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("%v seed %d: invalid sample: %v", model, seed, err)
+			}
+			if got.NumNodes() != want.NumNodes() || !edgesEqual(got, want) {
+				t.Fatalf("%v seed %d: in-place sample differs from copy-based", model, seed)
+			}
+			if got.SelfLoopsDropped() != want.SelfLoopsDropped() {
+				t.Fatalf("%v seed %d: self-loop accounting differs", model, seed)
+			}
+		}
+	}
+	if s := NewSampler(g, Model(99)); s != nil {
+		if _, err := s.Sample(1); err == nil {
+			t.Fatal("want error for unknown model")
+		}
+	}
+}
+
+// O(1) graphs per ensemble: the Sampler must hand back the same scratch
+// graph on every draw, and a steady-state draw must cost only a bounded
+// handful of fixed allocations (the per-sample RNG), not fresh columns.
+func TestSamplerScratchReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	g := randomGraph(r, 40, 3000, 1000)
+	for _, model := range []Model{TimeShuffle, DegreeRewire} {
+		s := NewSampler(g, model)
+		g1, err := s.Sample(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := s.Sample(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g1 != g2 {
+			t.Fatalf("%v: scratch graph not reused across samples", model)
+		}
+		seed := int64(3)
+		avg := testing.AllocsPerRun(5, func() {
+			if _, err := s.Sample(seed); err != nil {
+				t.Fatal(err)
+			}
+			seed++
+		})
+		if avg > 8 {
+			t.Fatalf("%v: steady-state sample allocates %.1f times, want O(1)", model, avg)
+		}
+	}
+}
+
+// TimeShuffle property: the static edge multiset — hence every in/out
+// degree — is preserved exactly; only timestamps move, as a permutation.
+func TestSamplerTimeShuffleInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	g := randomGraph(r, 18, 400, 300)
+	s := NewSampler(g, TimeShuffle)
+	for seed := int64(0); seed < 5; seed++ {
+		sg, err := s.Sample(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sg.NumEdges() != g.NumEdges() {
+			t.Fatal("edge count changed")
+		}
+		pairs := func(gr *temporal.Graph) map[[2]temporal.NodeID]int {
+			m := map[[2]temporal.NodeID]int{}
+			for _, e := range gr.Edges() {
+				m[[2]temporal.NodeID{e.From, e.To}]++
+			}
+			return m
+		}
+		pg, ps := pairs(g), pairs(sg)
+		if len(pg) != len(ps) {
+			t.Fatal("static pair multiset changed")
+		}
+		for k, v := range pg {
+			if ps[k] != v {
+				t.Fatalf("pair %v count changed", k)
+			}
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			if sg.Degree(temporal.NodeID(u)) != g.Degree(temporal.NodeID(u)) {
+				t.Fatalf("degree of %d changed", u)
+			}
+		}
+		times := func(gr *temporal.Graph) []temporal.Timestamp {
+			ts := append([]temporal.Timestamp(nil), gr.Times()...)
+			sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+			return ts
+		}
+		tg, tsg := times(g), times(sg)
+		for i := range tg {
+			if tg[i] != tsg[i] {
+				t.Fatal("timestamp multiset changed")
+			}
+		}
+	}
+}
+
+// DegreeRewire property: per-node in- and out-degree sequences and the
+// timestamp multiset are preserved exactly; no self-loops ever appear.
+func TestSamplerDegreeRewireInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	g := randomGraph(r, 15, 400, 500)
+	s := NewSampler(g, DegreeRewire)
+	inOut := func(gr *temporal.Graph) ([]int, []int) {
+		in := make([]int, gr.NumNodes())
+		out := make([]int, gr.NumNodes())
+		for _, e := range gr.Edges() {
+			out[e.From]++
+			in[e.To]++
+		}
+		return in, out
+	}
+	ig, og := inOut(g)
+	for seed := int64(0); seed < 5; seed++ {
+		sg, err := s.Sample(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sg.NumEdges() != g.NumEdges() || sg.SelfLoopsDropped() != 0 {
+			t.Fatalf("seed %d: rewire changed the edge count (%d vs %d, %d self-loops)",
+				seed, sg.NumEdges(), g.NumEdges(), sg.SelfLoopsDropped())
+		}
+		is, os := inOut(sg)
+		for u := range ig {
+			if is[u] != ig[u] || os[u] != og[u] {
+				t.Fatalf("seed %d: degree of %d changed", seed, u)
+			}
+		}
+		// Timestamps are untouched per sorted position.
+		gt, st := g.Times(), sg.Times()
+		for i := range gt {
+			if gt[i] != st[i] {
+				t.Fatal("rewire changed a timestamp")
+			}
+		}
+	}
+}
+
+// Regression: under maximal swap pressure — a two-hub graph where almost
+// every candidate swap would create a self-loop — DegreeRewire must reject
+// consistently with the builder's self-loop accounting: never a dropped
+// edge, never a nonzero SelfLoopsDropped, on both sampling paths.
+func TestDegreeRewireSelfLoopRegression(t *testing.T) {
+	b := temporal.NewBuilder(0)
+	for k := temporal.NodeID(1); k <= 12; k++ {
+		_ = b.AddEdge(0, k, temporal.Timestamp(k))     // 0 -> k
+		_ = b.AddEdge(k, 0, temporal.Timestamp(100+k)) // k -> 0
+	}
+	g := b.Build()
+	s := NewSampler(g, DegreeRewire)
+	for seed := int64(0); seed < 50; seed++ {
+		for _, path := range []func() (*temporal.Graph, error){
+			func() (*temporal.Graph, error) { return Sample(g, DegreeRewire, seed) },
+			func() (*temporal.Graph, error) { return s.Sample(seed) },
+		} {
+			sg, err := path()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sg.NumEdges() != g.NumEdges() {
+				t.Fatalf("seed %d: sample lost %d edges to self-loops",
+					seed, g.NumEdges()-sg.NumEdges())
+			}
+			if sg.SelfLoopsDropped() != 0 {
+				t.Fatalf("seed %d: %d self-loop swaps slipped through",
+					seed, sg.SelfLoopsDropped())
+			}
+		}
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	for _, m := range []Model{TimeShuffle, DegreeRewire} {
+		got, err := ParseModel(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseModel(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseModel("bogus"); err == nil {
+		t.Fatal("want error for unknown model name")
+	}
+}

@@ -3,7 +3,7 @@ package temporal
 import (
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
 )
 
 // Graph is an immutable directed temporal multigraph in a columnar
@@ -53,8 +53,11 @@ type Graph struct {
 	numNodes  int
 	selfLoops int // self-loops dropped at build time
 
-	edgesOnce sync.Once
-	edgesAoS  []Edge // lazily materialised row-major copy for cold paths
+	// Lazily materialised row-major copy for cold paths. An atomic pointer
+	// rather than a sync.Once so a Rebuilder can reset it between rebuilds;
+	// concurrent first readers may race to build it, but they build identical
+	// slices, so whichever store wins is correct.
+	edgesAoS atomic.Pointer[[]Edge]
 }
 
 // NumNodes returns the number of nodes (the node ID space is [0, NumNodes)).
@@ -85,16 +88,18 @@ func (g *Graph) Times() []Timestamp { return g.ts }
 // first call and cached (cold-path convenience — hot paths should read the
 // Src/Dst/Times columns). The caller must not modify it.
 func (g *Graph) Edges() []Edge {
-	g.edgesOnce.Do(func() {
-		if len(g.ts) == 0 {
-			return
+	if p := g.edgesAoS.Load(); p != nil {
+		return *p
+	}
+	var aos []Edge
+	if len(g.ts) > 0 {
+		aos = make([]Edge, len(g.ts))
+		for i := range aos {
+			aos[i] = Edge{From: g.src[i], To: g.dst[i], Time: g.ts[i]}
 		}
-		g.edgesAoS = make([]Edge, len(g.ts))
-		for i := range g.edgesAoS {
-			g.edgesAoS[i] = Edge{From: g.src[i], To: g.dst[i], Time: g.ts[i]}
-		}
-	})
-	return g.edgesAoS
+	}
+	g.edgesAoS.Store(&aos)
+	return aos
 }
 
 // Edge returns the edge with the given ID.
@@ -215,90 +220,8 @@ func (b *Builder) Len() int { return len(b.edges) }
 // scatters them into the src/dst/ts columns, and builds the CSR incident and
 // grouped per-pair indexes. The Builder must not be reused afterwards.
 func (b *Builder) Build() *Graph {
-	edges := b.edges
-	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Time < edges[j].Time })
-
-	m := len(edges)
-	n := 0
-	if m > 0 || b.maxNode > 0 {
-		n = int(b.maxNode) + 1
-	}
-	g := &Graph{numNodes: n, selfLoops: b.selfLoops}
-
-	g.src = make([]NodeID, m)
-	g.dst = make([]NodeID, m)
-	g.ts = make([]Timestamp, m)
-	for i, e := range edges {
-		g.src[i], g.dst[i], g.ts[i] = e.From, e.To, e.Time
-	}
-
-	// CSR incident index: count, prefix-sum, scatter. Scattering in EdgeID
-	// order leaves every per-node span EdgeID-sorted — i.e. timestamp-sorted
-	// with input-order tie-breaking, inherited from the stable sort above.
-	h := 2 * m
-	g.incOff = make([]int, n+1)
-	for i := 0; i < m; i++ {
-		g.incOff[g.src[i]+1]++
-		g.incOff[g.dst[i]+1]++
-	}
-	for u := 0; u < n; u++ {
-		g.incOff[u+1] += g.incOff[u]
-	}
-	g.incID = make([]EdgeID, h)
-	g.incTime = make([]Timestamp, h)
-	g.incOther = make([]NodeID, h)
-	g.incOut = make([]bool, h)
-	cur := make([]int, n)
-	copy(cur, g.incOff[:n])
-	for i := 0; i < m; i++ {
-		id := EdgeID(i)
-		u, v, t := g.src[i], g.dst[i], g.ts[i]
-		p := cur[u]
-		cur[u]++
-		g.incID[p], g.incTime[p], g.incOther[p], g.incOut[p] = id, t, v, true
-		p = cur[v]
-		cur[v]++
-		g.incID[p], g.incTime[p], g.incOther[p], g.incOut[p] = id, t, u, false
-	}
-
-	// Grouped per-pair index: within each node's incident span, stably
-	// re-sort a permutation by neighbor (stability preserves EdgeID order
-	// inside each group), gather into the grp columns, then record group
-	// boundaries as (neighbor key, offset) pairs.
-	perm := make([]int32, h)
-	for i := range perm {
-		perm[i] = int32(i)
-	}
-	for u := 0; u < n; u++ {
-		span := perm[g.incOff[u]:g.incOff[u+1]]
-		sort.SliceStable(span, func(a, b int) bool {
-			return g.incOther[span[a]] < g.incOther[span[b]]
-		})
-	}
-	g.grpID = make([]EdgeID, h)
-	g.grpTime = make([]Timestamp, h)
-	g.grpOther = make([]NodeID, h)
-	g.grpOut = make([]bool, h)
-	for j, p := range perm {
-		g.grpID[j] = g.incID[p]
-		g.grpTime[j] = g.incTime[p]
-		g.grpOther[j] = g.incOther[p]
-		g.grpOut[j] = g.incOut[p]
-	}
-	g.nbrOff = make([]int, n+1)
-	for u := 0; u < n; u++ {
-		g.nbrOff[u] = len(g.nbrKey)
-		lo, hi := g.incOff[u], g.incOff[u+1]
-		for j := lo; j < hi; j++ {
-			if j == lo || g.grpOther[j] != g.grpOther[j-1] {
-				g.nbrKey = append(g.nbrKey, g.grpOther[j])
-				g.grpOff = append(g.grpOff, j)
-			}
-		}
-	}
-	g.nbrOff[n] = len(g.nbrKey)
-	g.grpOff = append(g.grpOff, h)
-	return g
+	var rb Rebuilder // fresh: the returned graph owns its storage outright
+	return rb.build(b.edges, b.selfLoops, b.maxNode)
 }
 
 // FromEdges builds a Graph directly from an edge slice. The input slice is

@@ -1,0 +1,64 @@
+package hare
+
+import (
+	"hare/internal/nullmodel"
+)
+
+// NullModel selects a randomisation strategy for significance testing.
+type NullModel = nullmodel.Model
+
+// Null model constants.
+const (
+	// NullTimeShuffle permutes timestamps, preserving static structure.
+	NullTimeShuffle = nullmodel.TimeShuffle
+	// NullDegreeRewire rewires targets, preserving degree sequences and
+	// timestamps.
+	NullDegreeRewire = nullmodel.DegreeRewire
+)
+
+// ParseNullModel parses a null-model name ("time-shuffle" or
+// "degree-rewire"), as printed by NullModel.String.
+func ParseNullModel(s string) (NullModel, error) { return nullmodel.ParseModel(s) }
+
+// SignificanceOptions configures Significance: null model, sample count
+// (Trials), RNG seed, and worker parallelism. Sampling is deterministic —
+// sample t always draws from seed Seed + t·7919 — so a fixed seed gives
+// bit-identical statistics at any Workers value.
+type SignificanceOptions = nullmodel.Options
+
+// SignificanceReport holds real counts and null-model statistics. ZScore
+// ranks motifs by over/under-representation in standard deviations;
+// PUpperAt/PLowerAt report add-one-smoothed empirical tail p-values.
+type SignificanceReport = nullmodel.Report
+
+// Ensemble is the parallel significance engine behind Significance:
+// it generates and counts N null samples concurrently (one in-place
+// sampler per worker, O(1) graphs allocated per ensemble) and aggregates
+// per-motif moments deterministically. Use it directly to reuse a
+// configuration across graphs.
+type Ensemble = nullmodel.Ensemble
+
+// Significance counts motifs in g and in randomised null samples, returning
+// per-motif z-scores and empirical p-values — the standard way to decide
+// which motif counts are structurally meaningful rather than chance
+// (Milo et al., Science 2002). Samples are drawn and counted in parallel
+// across opts.Workers goroutines; results do not depend on the worker count.
+func Significance(g *Graph, delta Timestamp, opts SignificanceOptions) (*SignificanceReport, error) {
+	return nullmodel.Significance(g, delta, opts)
+}
+
+// NullSample draws one randomised reference graph under the given model.
+func NullSample(g *Graph, model NullModel, seed int64) (*Graph, error) {
+	return nullmodel.Sample(g, model, seed)
+}
+
+// NullSampler draws null samples in place, reusing one scratch graph across
+// draws — the allocation-free counterpart of NullSample for ensembles. The
+// graph returned by Sample is overwritten by the next call. Not safe for
+// concurrent use; Significance runs one per worker internally.
+type NullSampler = nullmodel.Sampler
+
+// NewNullSampler returns a NullSampler drawing from g under the given model.
+func NewNullSampler(g *Graph, model NullModel) *NullSampler {
+	return nullmodel.NewSampler(g, model)
+}

@@ -1,0 +1,126 @@
+package hare_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hare"
+)
+
+func randomAPIGraph(seed int64, nodes, edges int, span int64) *hare.Graph {
+	r := rand.New(rand.NewSource(seed))
+	b := hare.NewBuilder(edges)
+	for i := 0; i < edges; i++ {
+		u := hare.NodeID(r.Intn(nodes))
+		v := hare.NodeID(r.Intn(nodes))
+		if u == v {
+			v = (v + 1) % hare.NodeID(nodes)
+		}
+		_ = b.AddEdge(u, v, r.Int63n(span))
+	}
+	return b.Build()
+}
+
+// The public higher-order counters accept the shared Option list; any
+// worker/threshold combination must match the default result exactly.
+func TestHigherOrderOptionsAPI(t *testing.T) {
+	g := randomAPIGraph(51, 12, 150, 40)
+	wantS, err := hare.CountStar4(g, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP, err := hare.CountPath4(g, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]hare.Option{
+		{hare.WithWorkers(1)},
+		{hare.WithWorkers(4)},
+		{hare.WithWorkers(4), hare.WithDegreeThreshold(1)},
+		{hare.WithWorkers(4), hare.WithDegreeThreshold(-1)},
+	} {
+		gotS, err := hare.CountStar4(g, 12, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotS != wantS {
+			t.Fatalf("CountStar4 diverged under %d options", len(opts))
+		}
+		gotP, err := hare.CountPath4(g, 12, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotP != wantP {
+			t.Fatalf("CountPath4 diverged under %d options", len(opts))
+		}
+	}
+}
+
+// Significance exposes the ensemble statistics — p-values included — and
+// is worker-count invariant through the public surface too.
+func TestSignificanceEnsembleAPI(t *testing.T) {
+	g := randomAPIGraph(52, 25, 600, 1500)
+	opts := hare.SignificanceOptions{Model: hare.NullTimeShuffle, Trials: 12, Seed: 4}
+	opts.Workers = 1
+	a, err := hare.Significance(g, 40, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 7
+	b, err := hare.Significance(g, 40, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range hare.AllLabels() {
+		if a.ZScore(l) != b.ZScore(l) || a.PUpperAt(l) != b.PUpperAt(l) || a.PLowerAt(l) != b.PLowerAt(l) {
+			t.Fatalf("%v: statistics depend on worker count", l)
+		}
+		if p := a.PUpperAt(l); p <= 0 || p > 1 {
+			t.Fatalf("%v: p-value %v out of range", l, p)
+		}
+	}
+	// The Ensemble alias runs the same engine directly.
+	e := &hare.Ensemble{Model: hare.NullTimeShuffle, Samples: 12, Seed: 4, Workers: 2}
+	c, err := e.Run(g, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Real != a.Real || c.Mean != a.Mean {
+		t.Fatal("Ensemble alias disagrees with Significance")
+	}
+}
+
+// The in-place NullSampler matches NullSample draw-for-draw.
+func TestNullSamplerAPI(t *testing.T) {
+	g := randomAPIGraph(53, 10, 120, 300)
+	s := hare.NewNullSampler(g, hare.NullDegreeRewire)
+	for seed := int64(0); seed < 4; seed++ {
+		want, err := hare.NullSample(g, hare.NullDegreeRewire, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Sample(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		we, ge := want.Edges(), got.Edges()
+		if len(we) != len(ge) {
+			t.Fatal("edge counts differ")
+		}
+		for i := range we {
+			if we[i] != ge[i] {
+				t.Fatalf("seed %d: edge %d differs", seed, i)
+			}
+		}
+	}
+}
+
+func TestParseNullModelAPI(t *testing.T) {
+	m, err := hare.ParseNullModel("degree-rewire")
+	if err != nil || m != hare.NullDegreeRewire {
+		t.Fatalf("ParseNullModel = %v, %v", m, err)
+	}
+	if _, err := hare.ParseNullModel("nope"); err == nil {
+		t.Fatal("want error for unknown model")
+	}
+}

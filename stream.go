@@ -1,7 +1,6 @@
 package hare
 
 import (
-	"hare/internal/nullmodel"
 	"hare/internal/stream"
 )
 
@@ -51,34 +50,3 @@ func NewSlidingStream(delta Timestamp) (*StreamCounter, error) { return stream.N
 
 // NewStreamCounter returns an empty online counter with the given options.
 func NewStreamCounter(opts StreamOptions) (*StreamCounter, error) { return stream.NewCounter(opts) }
-
-// NullModel selects a randomisation strategy for significance testing.
-type NullModel = nullmodel.Model
-
-// Null model constants.
-const (
-	// NullTimeShuffle permutes timestamps, preserving static structure.
-	NullTimeShuffle = nullmodel.TimeShuffle
-	// NullDegreeRewire rewires targets, preserving degree sequences and
-	// timestamps.
-	NullDegreeRewire = nullmodel.DegreeRewire
-)
-
-// SignificanceOptions configures Significance.
-type SignificanceOptions = nullmodel.Options
-
-// SignificanceReport holds real counts and null-model statistics; use
-// ZScore to rank motifs by over/under-representation.
-type SignificanceReport = nullmodel.Report
-
-// Significance counts motifs in g and in randomised null samples, returning
-// per-motif z-scores — the standard way to decide which motif counts are
-// structurally meaningful rather than chance.
-func Significance(g *Graph, delta Timestamp, opts SignificanceOptions) (*SignificanceReport, error) {
-	return nullmodel.Significance(g, delta, opts)
-}
-
-// NullSample draws one randomised reference graph under the given model.
-func NullSample(g *Graph, model NullModel, seed int64) (*Graph, error) {
-	return nullmodel.Sample(g, model, seed)
-}
