@@ -8,11 +8,15 @@
 //	harebench -exp all -scale 0.25              # the whole evaluation
 //	harebench -exp fig11 -datasets wikitalk,sms-a -threads 1,2,4,8
 //	harebench -json -scale 0.05 -count 5 -out BENCH.json
+//	harebench -compare -old baseline/bench.txt -new bench.txt
 //
 // Experiments: table2, table3, fig9, fig10, fig11, fig12a, fig12b, all.
 // With -json the experiment selection is ignored and a JSON report with
 // per-dataset ingest/count edges/sec, ns/op and steady-state allocs per
-// center is written to -out (stdout by default).
+// center is written to -out (stdout by default). With -compare two
+// `go test -bench` output files are compared with an exact permutation
+// test and the command exits 1 on any statistically significant ns/op
+// regression beyond -max-regress percent — the CI performance fence.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"strings"
 
 	"hare/internal/bench"
+	"hare/internal/buildinfo"
 	"hare/internal/temporal"
 )
 
@@ -39,8 +44,34 @@ func main() {
 		count    = flag.Int("count", 3, "json mode: best-of repetitions per measurement (>= 1)")
 		outPath  = flag.String("out", "", "json mode: output file (default stdout)")
 		loadW    = flag.Int("load-workers", 0, "json mode: parallel-loader workers for the load measurements (0 = all CPUs)")
+		compare  = flag.Bool("compare", false, "compare mode: fence two `go test -bench` output files instead of benchmarking")
+		oldPath  = flag.String("old", "", "compare mode: baseline bench output file (required)")
+		newPath  = flag.String("new", "", "compare mode: current bench output file (required)")
+		alpha    = flag.Float64("alpha", 0.05, "compare mode: significance level of the permutation test")
+		maxReg   = flag.Float64("max-regress", 15, "compare mode: fail on significant slowdowns above this percent")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("harebench", buildinfo.Version())
+		return
+	}
+	if *compare {
+		if *oldPath == "" || *newPath == "" {
+			usageErr("-compare requires -old and -new")
+		}
+		if *alpha <= 0 || *alpha >= 1 {
+			usageErr("-alpha must be in (0,1) (got %g)", *alpha)
+		}
+		if *maxReg < 0 {
+			usageErr("-max-regress must be >= 0 (got %g)", *maxReg)
+		}
+		if err := bench.Fence(os.Stdout, *oldPath, *newPath, *alpha, *maxReg); err != nil {
+			fmt.Fprintln(os.Stderr, "harebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *scale <= 0 {
 		usageErr("-scale must be > 0 (got %g)", *scale)
 	}

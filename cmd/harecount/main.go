@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"hare"
+	"hare/internal/buildinfo"
 )
 
 func main() {
@@ -32,8 +33,13 @@ func main() {
 		stats   = flag.Bool("stats", false, "print graph statistics before counting")
 		check   = flag.Bool("check", false, "validate internal graph invariants after loading")
 		loadW   = flag.Int("load-workers", 0, "parallel ingestion workers (0 = all CPUs, 1 = sequential)")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("harecount", buildinfo.Version())
+		return
+	}
 	if *input == "" {
 		usageErr("-input is required")
 	}

@@ -1,0 +1,180 @@
+// Command hared is the HARE query daemon: a long-lived HTTP service that
+// loads each named dataset once, shares the immutable graph across
+// requests, caches results in an LRU keyed by canonicalized request with
+// singleflight deduplication, and bounds concurrent counting jobs with a
+// worker-budget admission controller.
+//
+// Usage:
+//
+//	hared -listen :8315 -data wiki=wiki.txt.gz -data sms=sms.txt
+//	hared -listen :8315 -gen collegemsg:0.2 -gen wikitalk:0.05
+//	hared -version
+//
+// Endpoints (all GET, JSON):
+//
+//	/v1/count?dataset=wiki&delta=600[&motif=M26][&workers=4][&thrd=100]
+//	/v1/star4?dataset=wiki&delta=600      4-node star motifs
+//	/v1/path4?dataset=wiki&delta=600      4-node path motifs
+//	/v1/sig?dataset=wiki&delta=600&model=time-shuffle&samples=20&seed=1
+//	/v1/datasets                          registered datasets
+//	/healthz                              liveness + version
+//	/metrics                              Prometheus text metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hare"
+	"hare/internal/buildinfo"
+	"hare/internal/gen"
+)
+
+// repeatable collects every occurrence of a repeatable string flag.
+type repeatable []string
+
+func (r *repeatable) String() string     { return strings.Join(*r, ",") }
+func (r *repeatable) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var dataFlags, genFlags repeatable
+	var (
+		listen    = flag.String("listen", ":8315", "listen address")
+		cacheSize = flag.Int("cache", 1024, "result-cache capacity in entries (negative = disable)")
+		budget    = flag.Int("budget", 0, "admission worker budget (0 = all CPUs)")
+		maxGraphs = flag.Int("max-graphs", 0, "max resident dataset graphs, LRU-evicted beyond (0 = unbounded)")
+		relabel   = flag.Bool("relabel", false, "relabel arbitrary node ids in -data files to a dense space")
+		comma     = flag.Bool("comma", false, "treat commas as field separators in -data files")
+		loadW     = flag.Int("load-workers", 0, "parallel ingestion workers per dataset load (0 = all CPUs)")
+		preload   = flag.Bool("preload", false, "load every dataset at startup instead of on first request")
+		version   = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Var(&dataFlags, "data", "dataset as name=edge-list-path (.gz ok; repeatable)")
+	flag.Var(&genFlags, "gen", "synthetic dataset as name[:scale] from the built-in suite (repeatable)")
+	flag.Parse()
+	if *version {
+		fmt.Println("hared", buildinfo.Version())
+		return
+	}
+	if len(dataFlags) == 0 && len(genFlags) == 0 {
+		usageErr("at least one -data or -gen dataset is required")
+	}
+	if *loadW < 0 {
+		usageErr("-load-workers must be >= 0 (got %d; 0 = all CPUs)", *loadW)
+	}
+	if *budget < 0 {
+		usageErr("-budget must be >= 0 (got %d; 0 = all CPUs)", *budget)
+	}
+	if *maxGraphs < 0 {
+		usageErr("-max-graphs must be >= 0 (got %d; 0 = unbounded)", *maxGraphs)
+	}
+
+	srv, err := hare.NewServer(hare.ServerOptions{
+		CacheSize:       *cacheSize,
+		WorkerBudget:    *budget,
+		MaxLoadedGraphs: *maxGraphs,
+		Version:         buildinfo.Version(),
+	})
+	if err != nil {
+		log.Fatalf("hared: %v", err)
+	}
+	loadOpts := hare.LoadOptions{Relabel: *relabel, Comma: *comma, Workers: *loadW}
+	var names []string
+	for _, d := range dataFlags {
+		name, path, ok := strings.Cut(d, "=")
+		if !ok || name == "" || path == "" {
+			usageErr("-data must be name=path (got %q)", d)
+		}
+		if _, err := os.Stat(path); err != nil {
+			usageErr("-data %s: %v", name, err)
+		}
+		p := path
+		if err := srv.Register(name, "edge list "+p, func() (*hare.Graph, error) {
+			return hare.LoadFile(p, loadOpts)
+		}); err != nil {
+			usageErr("%v", err)
+		}
+		names = append(names, name)
+	}
+	for _, spec := range genFlags {
+		name, cfg, err := genConfig(spec)
+		if err != nil {
+			usageErr("-gen %s: %v", spec, err)
+		}
+		c := cfg
+		if err := srv.Register(name, fmt.Sprintf("synthetic %s (%d nodes, %d edges)", cfg.Name, cfg.Nodes, cfg.Edges),
+			func() (*hare.Graph, error) { return gen.Generate(c) }); err != nil {
+			usageErr("%v", err)
+		}
+		names = append(names, name)
+	}
+	if *preload {
+		for _, name := range names {
+			t0 := time.Now()
+			g, err := srv.Preload(name)
+			if err != nil {
+				log.Fatalf("hared: preload %s: %v", name, err)
+			}
+			log.Printf("loaded %s: %d nodes, %d edges in %v", name, g.NumNodes(), g.NumEdges(), time.Since(t0).Round(time.Millisecond))
+		}
+	}
+
+	hs := &http.Server{
+		Addr:              *listen,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		log.Printf("hared %s listening on %s with %d dataset(s): %s",
+			buildinfo.Version(), *listen, len(names), strings.Join(names, ", "))
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("hared: %v", err)
+		}
+	}()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("hared: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("hared: shutdown: %v", err)
+	}
+}
+
+// genConfig parses a -gen spec "name[:scale]" into a scaled dataset config.
+// The registered name is the spec itself: "-gen wikitalk" serves as plain
+// "wikitalk", "-gen wikitalk:0.05" as "wikitalk:0.05" — so a scaled graph
+// is never mistaken for the full dataset and several scales of one
+// generator can be served side by side.
+func genConfig(spec string) (string, gen.Config, error) {
+	name, scaleStr, hasScale := strings.Cut(spec, ":")
+	cfg, err := gen.DatasetByName(name)
+	if err != nil {
+		return "", gen.Config{}, err
+	}
+	if !hasScale {
+		return name, cfg, nil
+	}
+	scale, err := strconv.ParseFloat(scaleStr, 64)
+	if err != nil || scale <= 0 {
+		return "", gen.Config{}, fmt.Errorf("scale must be a positive number (got %q)", scaleStr)
+	}
+	return spec, gen.Scaled(cfg, scale), nil
+}
+
+// usageErr reports a flag-validation failure with usage text and exits 2.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hared: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}

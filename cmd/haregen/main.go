@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"hare/internal/buildinfo"
 	"hare/internal/gen"
 	"hare/internal/temporal"
 )
@@ -36,8 +37,13 @@ func main() {
 		repeat  = flag.Float64("repeat", 0.1, "custom graph: repeat probability")
 		triad   = flag.Float64("triad", 0.05, "custom graph: triadic-closure probability")
 		burst   = flag.Int("burst", 5, "custom graph: mean burst length")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("haregen", buildinfo.Version())
+		return
+	}
 	if *scale <= 0 {
 		usageErr("-scale must be > 0 (got %g)", *scale)
 	}

@@ -25,6 +25,7 @@ import (
 	"os"
 
 	"hare"
+	"hare/internal/buildinfo"
 )
 
 func main() {
@@ -40,8 +41,13 @@ func main() {
 		relabel = flag.Bool("relabel", false, "relabel arbitrary node ids to a dense space")
 		comma   = flag.Bool("comma", false, "treat commas as field separators")
 		loadW   = flag.Int("load-workers", 0, "parallel ingestion workers (0 = all CPUs)")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("haresig", buildinfo.Version())
+		return
+	}
 	if *input == "" {
 		usageErr("-input is required")
 	}

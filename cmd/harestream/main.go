@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"hare"
+	"hare/internal/buildinfo"
 )
 
 func main() {
@@ -31,8 +32,13 @@ func main() {
 		batch   = flag.Int("batch", 0, "edges per ingest batch (0 = default)")
 		sliding = flag.Bool("sliding", false, "track the last-δ window, not just cumulative totals")
 		loadW   = flag.Int("load-workers", 0, "parse the input with N goroutines (0/1 = sequential; chunked, so best for file replays, not live pipes)")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("harestream", buildinfo.Version())
+		return
+	}
 	if *delta <= 0 {
 		usageErr("-delta must be > 0 (got %d)", *delta)
 	}

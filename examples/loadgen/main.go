@@ -1,0 +1,148 @@
+// Command loadgen drives a running hared with concurrent query traffic
+// and reports throughput, latency percentiles and the server's cache
+// behaviour — a minimal load harness for sizing a deployment:
+//
+//	hared -listen :8315 -gen collegemsg:0.2 &
+//	go run ./examples/loadgen -url http://localhost:8315 -dataset collegemsg:0.2 \
+//	    -concurrency 16 -requests 2000
+//
+// By default every request repeats one query (steady-state cache-hit
+// traffic). -spread N rotates through N distinct δ values instead, forcing
+// a cold compute per distinct value — the worst case the admission
+// controller exists for.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	var (
+		base        = flag.String("url", "http://localhost:8315", "hared base URL")
+		dataset     = flag.String("dataset", "", "dataset name (required)")
+		delta       = flag.Int64("delta", 600, "base δ in seconds")
+		endpoint    = flag.String("endpoint", "count", "query kind: count, star4, path4 or sig")
+		concurrency = flag.Int("concurrency", 8, "concurrent clients")
+		requests    = flag.Int("requests", 1000, "total requests to fire")
+		spread      = flag.Int("spread", 1, "rotate through N distinct δ values (1 = one hot key)")
+	)
+	flag.Parse()
+	if *dataset == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -dataset is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *concurrency < 1 || *requests < 1 || *spread < 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -concurrency, -requests and -spread must be >= 1")
+		os.Exit(2)
+	}
+	switch *endpoint {
+	case "count", "star4", "path4", "sig":
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -endpoint %q\n", *endpoint)
+		os.Exit(2)
+	}
+
+	hitsBefore, missesBefore := scrapeCache(*base)
+
+	urlFor := func(i int) string {
+		d := *delta + int64(i%*spread)
+		return fmt.Sprintf("%s/v1/%s?dataset=%s&delta=%d", *base, *endpoint, *dataset, d)
+	}
+	latencies := make([]time.Duration, *requests)
+	var next, failures atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *requests {
+					return
+				}
+				t0 := time.Now()
+				resp, err := http.Get(urlFor(i))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				latencies[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ok := make([]time.Duration, 0, *requests)
+	for _, l := range latencies {
+		if l > 0 {
+			ok = append(ok, l)
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	pct := func(p float64) time.Duration {
+		if len(ok) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(ok)-1))
+		return ok[i]
+	}
+	fmt.Printf("%d requests (%d failed), %d clients, spread %d, in %v\n",
+		*requests, failures.Load(), *concurrency, *spread, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f req/s\n", float64(len(ok))/elapsed.Seconds())
+	fmt.Printf("latency: p50=%v p95=%v p99=%v max=%v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+
+	hitsAfter, missesAfter := scrapeCache(*base)
+	if hitsAfter >= hitsBefore && missesAfter >= missesBefore {
+		dh, dm := hitsAfter-hitsBefore, missesAfter-missesBefore
+		if dh+dm > 0 {
+			fmt.Printf("server cache during run: %d hits, %d misses (%.1f%% hit rate)\n",
+				dh, dm, 100*float64(dh)/float64(dh+dm))
+		}
+	}
+}
+
+var cacheRe = regexp.MustCompile(`hared_cache_(hits|misses)_total (\d+)`)
+
+// scrapeCache reads the hit/miss counters from /metrics; zeros when the
+// endpoint is unreachable (the run report simply omits the cache line).
+func scrapeCache(base string) (hits, misses int64) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0
+	}
+	for _, m := range cacheRe.FindAllStringSubmatch(string(body), -1) {
+		v, _ := strconv.ParseInt(m[2], 10, 64)
+		if m[1] == "hits" {
+			hits = v
+		} else {
+			misses = v
+		}
+	}
+	return hits, misses
+}

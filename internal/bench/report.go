@@ -17,8 +17,12 @@ import (
 // ReportSchema versions the JSON benchmark report format. Schema 2 added
 // the load_* fields (edge-list text parsing throughput, sequential and
 // parallel, and whole-load allocations per edge). Schema 3 added the sig_*
-// fields (null-model ensemble throughput, parallel vs sequential).
-const ReportSchema = 3
+// fields (null-model ensemble throughput, parallel vs sequential). Schema
+// 5 added the serve_* fields (hared query-service throughput, cold vs
+// cached requests under concurrency); 4 was skipped so that from here on
+// the schema number also names the CI bench artifact (BENCH_<schema>),
+// which CI derives from this field — the workflow never hardcodes it.
+const ReportSchema = 5
 
 // DatasetReport holds one dataset's measured numbers. Timings are
 // best-of-Runs wall times; rates derive from them.
@@ -70,6 +74,18 @@ type DatasetReport struct {
 	SigSamplesPerSec float64 `json:"sig_samples_per_sec"`
 	SigSeqNsOp       int64   `json:"sig_seq_ns_op"`
 	SigSpeedup       float64 `json:"sig_speedup"`
+
+	// Serve: the hared query service driven end-to-end through its HTTP
+	// handler by ServeConcurrency concurrent clients on /v1/count — cold
+	// (every request a cache miss computing a fresh count) vs cached
+	// (every request an LRU hit). ServeCacheSpeedup = cold/cached; the
+	// serving layer targets >= 10x.
+	ServeConcurrency   int     `json:"serve_concurrency"`
+	ServeColdNsOp      int64   `json:"serve_cold_ns_op"`
+	ServeColdReqPerSec float64 `json:"serve_cold_req_per_sec"`
+	ServeCachedNsOp    int64   `json:"serve_cached_ns_op"`
+	ServeCachedReqSec  float64 `json:"serve_cached_req_per_sec"`
+	ServeCacheSpeedup  float64 `json:"serve_cache_speedup"`
 }
 
 // Report is the machine-readable benchmark report emitted by
@@ -186,6 +202,17 @@ func JSONReport(opts Options, runs int) (*Report, error) {
 		if d.SigNsOp > 0 {
 			d.SigSpeedup = float64(d.SigSeqNsOp) / float64(d.SigNsOp)
 		}
+
+		sm, err := measureServe(name, g, delta, runs)
+		if err != nil {
+			return nil, err
+		}
+		d.ServeConcurrency = sm.Concurrency
+		d.ServeColdNsOp = sm.ColdNsOp
+		d.ServeColdReqPerSec = sm.ColdReqSec
+		d.ServeCachedNsOp = sm.CachedNsOp
+		d.ServeCachedReqSec = sm.CachedReqSec
+		d.ServeCacheSpeedup = sm.Speedup
 
 		rep.Datasets = append(rep.Datasets, d)
 	}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hare"
+	"hare/internal/temporal"
+)
+
+// serveMeasurement is one dataset's hared query-service throughput: cold
+// requests (every request a cache miss computing a fresh count) versus
+// cached requests (every request a cache hit), both under Concurrency
+// concurrent clients driving /v1/count.
+type serveMeasurement struct {
+	Concurrency  int
+	ColdNsOp     int64
+	CachedNsOp   int64
+	ColdReqSec   float64
+	CachedReqSec float64
+	Speedup      float64
+}
+
+// serveConcurrency is the client parallelism of the serve measurements:
+// enough to exercise the admission controller and cache locking, low
+// enough that CI runners aren't oversubscribed.
+func serveConcurrency() int {
+	c := runtime.GOMAXPROCS(0)
+	if c > 8 {
+		c = 8
+	}
+	if c < 2 {
+		c = 2
+	}
+	return c
+}
+
+// measureServe drives an in-process hared server over its HTTP handler
+// (httptest recorders, no sockets: the measurement tracks the service
+// stack — routing, registry, cache, admission, counting, JSON — not
+// kernel TCP). Cold requests use pairwise-distinct δ values so each one
+// misses the cache; cached requests repeat one δ so all but the warm-up
+// hit. runs is the best-of repetition count.
+func measureServe(name string, g *temporal.Graph, delta temporal.Timestamp, runs int) (serveMeasurement, error) {
+	srv, err := hare.NewServer(hare.ServerOptions{CacheSize: 1 << 16})
+	if err != nil {
+		return serveMeasurement{}, err
+	}
+	if err := srv.RegisterGraph(name, "bench", g); err != nil {
+		return serveMeasurement{}, err
+	}
+	handler := srv.Handler()
+
+	conc := serveConcurrency()
+	m := serveMeasurement{Concurrency: conc}
+
+	var badStatus atomic.Value
+	do := func(delta int64) {
+		url := fmt.Sprintf("/v1/count?dataset=%s&delta=%d", name, delta)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusOK {
+			badStatus.Store(fmt.Sprintf("GET %s: status %d: %s", url, rec.Code, rec.Body.String()))
+		}
+	}
+	// fire issues total requests across conc workers, request i getting
+	// its δ from deltaAt; bestOf times the whole volley and the callers
+	// divide by the request count.
+	fire := func(total int, deltaAt func(i int) int64) {
+		var wg sync.WaitGroup
+		next := atomic.Int64{}
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= total {
+						return
+					}
+					do(deltaAt(i))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Cold: a distinct δ per request, and distinct across best-of runs
+	// too, so every request misses and computes. The drift of a few dozen
+	// seconds around the base δ leaves the workload essentially constant.
+	coldN := 2 * conc
+	nextDelta := int64(delta)
+	m.ColdNsOp = bestOf(runs, func() {
+		base := nextDelta
+		nextDelta += int64(coldN)
+		fire(coldN, func(i int) int64 { return base + int64(i) })
+	}) / int64(coldN)
+
+	// Cached: warm one key, then hammer it.
+	do(int64(delta))
+	cachedN := 512 * conc
+	m.CachedNsOp = bestOf(runs, func() {
+		fire(cachedN, func(int) int64 { return int64(delta) })
+	}) / int64(cachedN)
+
+	if msg := badStatus.Load(); msg != nil {
+		return serveMeasurement{}, fmt.Errorf("serve bench: %s", msg)
+	}
+	m.ColdReqSec = rate(1, m.ColdNsOp)
+	m.CachedReqSec = rate(1, m.CachedNsOp)
+	if m.CachedNsOp > 0 {
+		m.Speedup = float64(m.ColdNsOp) / float64(m.CachedNsOp)
+	}
+	// Sanity: the cache must actually have been hit — a wiring mistake
+	// here would silently benchmark cold twice.
+	if hits, _, _, _ := srv.CacheStats(); hits == 0 {
+		return serveMeasurement{}, fmt.Errorf("serve bench: no cache hits recorded")
+	}
+	return m, nil
+}

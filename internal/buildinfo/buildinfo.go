@@ -1,0 +1,60 @@
+// Package buildinfo derives a version string for the hare binaries from
+// the build metadata the Go toolchain embeds (runtime/debug.ReadBuildInfo):
+// module version when built as a versioned dependency, VCS revision and
+// commit time when built from a checkout. Every command exposes it via
+// -version and hared additionally reports it from /healthz.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// readBuildInfo is stubbed in tests to exercise the formatting paths.
+var readBuildInfo = debug.ReadBuildInfo
+
+// Version returns a single-line version string: the module version if it
+// is a real release, then "rev <short-hash>[+dirty] (<commit time>)" when
+// VCS metadata is present, and the toolchain that built the binary.
+// Without any build info (unusual: tests of old toolchains) it returns
+// "unknown".
+func Version() string {
+	bi, ok := readBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var parts []string
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		parts = append(parts, v)
+	}
+	var rev, at, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			at = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		r := "rev " + rev + dirty
+		if at != "" {
+			r += " (" + at + ")"
+		}
+		parts = append(parts, r)
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "devel")
+	}
+	if bi.GoVersion != "" {
+		parts = append(parts, bi.GoVersion)
+	}
+	return strings.Join(parts, ", ")
+}

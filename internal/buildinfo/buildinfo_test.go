@@ -1,0 +1,69 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func withInfo(t *testing.T, bi *debug.BuildInfo, ok bool) {
+	t.Helper()
+	orig := readBuildInfo
+	readBuildInfo = func() (*debug.BuildInfo, bool) { return bi, ok }
+	t.Cleanup(func() { readBuildInfo = orig })
+}
+
+func TestVersionNoBuildInfo(t *testing.T) {
+	withInfo(t, nil, false)
+	if got := Version(); got != "unknown" {
+		t.Fatalf("Version() = %q, want unknown", got)
+	}
+}
+
+func TestVersionDevelFallback(t *testing.T) {
+	withInfo(t, &debug.BuildInfo{GoVersion: "go1.24.0"}, true)
+	if got := Version(); got != "devel, go1.24.0" {
+		t.Fatalf("Version() = %q", got)
+	}
+}
+
+func TestVersionModuleAndVCS(t *testing.T) {
+	withInfo(t, &debug.BuildInfo{
+		GoVersion: "go1.24.0",
+		Main:      debug.Module{Version: "v1.2.3"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123456789abcdef01234567"},
+			{Key: "vcs.time", Value: "2026-07-30T12:00:00Z"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}, true)
+	got := Version()
+	for _, want := range []string{"v1.2.3", "rev 0123456789ab+dirty", "2026-07-30T12:00:00Z", "go1.24.0"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Version() = %q, missing %q", got, want)
+		}
+	}
+	if strings.Contains(got, "0123456789abc") {
+		t.Errorf("revision not truncated to 12 chars: %q", got)
+	}
+}
+
+func TestVersionDevelModuleUsesVCS(t *testing.T) {
+	withInfo(t, &debug.BuildInfo{
+		GoVersion: "go1.24.0",
+		Main:      debug.Module{Version: "(devel)"},
+		Settings:  []debug.BuildSetting{{Key: "vcs.revision", Value: "abc123"}},
+	}, true)
+	got := Version()
+	if !strings.Contains(got, "rev abc123") || strings.Contains(got, "devel,") {
+		t.Errorf("Version() = %q", got)
+	}
+}
+
+// The real binary path: whatever the environment provides, Version never
+// panics and never returns empty.
+func TestVersionReal(t *testing.T) {
+	if got := Version(); got == "" {
+		t.Fatal("empty version")
+	}
+}

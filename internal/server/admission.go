@@ -1,0 +1,113 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Admission is a weighted FIFO semaphore bounding the total worker budget
+// of concurrently running counting jobs. A job declaring weight w (its
+// worker count, clamped to [1, budget]) blocks until w budget units are
+// free; waiters are granted strictly in arrival order so a wide job cannot
+// be starved by a stream of narrow ones.
+type Admission struct {
+	mu      sync.Mutex
+	budget  int
+	used    int
+	waiters *list.List // of *waiter, front = oldest
+
+	waits    uint64 // acquisitions that had to block
+	inflight int    // jobs currently admitted
+}
+
+type waiter struct {
+	weight int
+	ready  chan struct{}
+}
+
+// NewAdmission returns a controller with the given worker budget (>= 1).
+func NewAdmission(budget int) *Admission {
+	if budget < 1 {
+		budget = 1
+	}
+	return &Admission{budget: budget, waiters: list.New()}
+}
+
+// Budget returns the total worker budget.
+func (a *Admission) Budget() int { return a.budget }
+
+// Acquire blocks until weight units are available or ctx is done. The
+// weight is clamped to [1, budget] and returned; pass it to Release.
+func (a *Admission) Acquire(ctx context.Context, weight int) (int, error) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > a.budget {
+		weight = a.budget
+	}
+	a.mu.Lock()
+	if a.waiters.Len() == 0 && a.used+weight <= a.budget {
+		a.used += weight
+		a.inflight++
+		a.mu.Unlock()
+		return weight, nil
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	elem := a.waiters.PushBack(w)
+	a.waits++
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return weight, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted between ctx.Done and taking the lock: the units are
+			// ours, so hand them back rather than leak them.
+			a.used -= weight
+			a.inflight--
+			a.grant()
+		default:
+			a.waiters.Remove(elem)
+			// Our departure may unblock a narrower waiter behind us.
+			a.grant()
+		}
+		a.mu.Unlock()
+		return 0, ctx.Err()
+	}
+}
+
+// Release returns weight units to the budget and wakes eligible waiters.
+func (a *Admission) Release(weight int) {
+	a.mu.Lock()
+	a.used -= weight
+	a.inflight--
+	a.grant()
+	a.mu.Unlock()
+}
+
+// grant admits waiters from the front of the queue while budget lasts.
+// Callers hold a.mu.
+func (a *Admission) grant() {
+	for a.waiters.Len() > 0 {
+		w := a.waiters.Front().Value.(*waiter)
+		if a.used+w.weight > a.budget {
+			return
+		}
+		a.waiters.Remove(a.waiters.Front())
+		a.used += w.weight
+		a.inflight++
+		close(w.ready)
+	}
+}
+
+// Stats returns the cumulative blocked-acquire count and current admitted
+// job count.
+func (a *Admission) Stats() (waits uint64, inflight int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waits, a.inflight
+}

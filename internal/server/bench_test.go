@@ -1,0 +1,65 @@
+package server_test
+
+// Benchmarks of the serving hot paths, pinned in CI's bench.txt so the
+// regression fence watches them: a cached /v1/count hit (the steady-state
+// request in production) and a cold request computing a fresh count.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"hare"
+)
+
+func benchHandler(b *testing.B, cacheSize int) http.Handler {
+	b.Helper()
+	g := e2eGraph(b)
+	srv, err := hare.NewServer(hare.ServerOptions{CacheSize: cacheSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.RegisterGraph("college", "bench graph", g); err != nil {
+		b.Fatal(err)
+	}
+	return srv.Handler()
+}
+
+func serveOnce(b *testing.B, h http.Handler, url string) {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("GET %s: %d: %s", url, rec.Code, rec.Body.String())
+	}
+}
+
+// BenchmarkServeCountCached measures the cache-hit request path:
+// routing, canonicalization, LRU lookup and JSON encoding.
+func BenchmarkServeCountCached(b *testing.B) {
+	h := benchHandler(b, 1024)
+	serveOnce(b, h, "/v1/count?dataset=college&delta=600") // warm the key
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			serveOnce(b, h, "/v1/count?dataset=college&delta=600")
+		}
+	})
+}
+
+// BenchmarkServeCountCold measures the cache-miss request path: every
+// iteration uses a fresh δ, so each request runs a full count under
+// admission control.
+func BenchmarkServeCountCold(b *testing.B) {
+	h := benchHandler(b, 1<<20)
+	serveOnce(b, h, "/v1/count?dataset=college&delta=600") // load the graph
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			delta := 10_000 + next.Add(1)
+			serveOnce(b, h, fmt.Sprintf("/v1/count?dataset=college&delta=%d", delta))
+		}
+	})
+}

@@ -1,0 +1,282 @@
+package server_test
+
+// End-to-end test of the hared serving stack: a real HTTP server on an
+// ephemeral port, concurrent mixed queries, and responses checked
+// bit-identical against direct library calls — plus cache accounting that
+// must add up exactly (each unique canonical request computes once; every
+// other request is a cache hit or an in-flight coalesce).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"hare"
+	"hare/internal/gen"
+	"hare/internal/motif"
+)
+
+// e2eResponse mirrors the server's query envelope with integer-exact
+// count decoding.
+type e2eResponse struct {
+	Dataset      string            `json:"dataset"`
+	DeltaSeconds int64             `json:"delta_seconds"`
+	Matrix       map[string]uint64 `json:"matrix"`
+	Motif        string            `json:"motif"`
+	Count        *uint64           `json:"count"`
+	Patterns     map[string]uint64 `json:"patterns"`
+	Paths        map[string]uint64 `json:"paths"`
+	Motifs       []struct {
+		Label  string  `json:"label"`
+		Real   uint64  `json:"real"`
+		Mean   float64 `json:"mean"`
+		Std    float64 `json:"std"`
+		PUpper float64 `json:"p_upper"`
+		PLower float64 `json:"p_lower"`
+	} `json:"motifs"`
+	Total     uint64 `json:"total"`
+	Cached    bool   `json:"cached"`
+	Coalesced bool   `json:"coalesced"`
+}
+
+func e2eGraph(t testing.TB) *hare.Graph {
+	t.Helper()
+	cfg, err := gen.DatasetByName("collegemsg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.Generate(gen.Scaled(cfg, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEndToEndConcurrentMixedQueries(t *testing.T) {
+	g := e2eGraph(t)
+	srv, err := hare.NewServer(hare.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterGraph("college", "e2e graph", g); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler()) // ephemeral port
+	defer hs.Close()
+
+	// The mixed workload: per unique canonical request, several identical
+	// concurrent calls that must all coalesce onto one computation.
+	queries := []struct {
+		path string
+		n    int
+	}{
+		{"/v1/count?dataset=college&delta=600", 8},
+		{"/v1/count?dataset=college&delta=300", 4},
+		{"/v1/count?dataset=college&delta=600&motif=M26", 4},
+		{"/v1/star4?dataset=college&delta=600", 4},
+		{"/v1/path4?dataset=college&delta=600", 4},
+		{"/v1/sig?dataset=college&delta=600&samples=4&seed=2", 3},
+	}
+	uniqueKeys := len(queries)
+	total := 0
+	type reply struct {
+		path string
+		body e2eResponse
+	}
+	var mu sync.Mutex
+	var replies []reply
+	var wg sync.WaitGroup
+	for _, q := range queries {
+		total += q.n
+		for i := 0; i < q.n; i++ {
+			wg.Add(1)
+			go func(path string) {
+				defer wg.Done()
+				resp, err := http.Get(hs.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer resp.Body.Close()
+				data, err := io.ReadAll(resp.Body)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s: %d: %s", path, resp.StatusCode, data)
+					return
+				}
+				var body e2eResponse
+				if err := json.Unmarshal(data, &body); err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				mu.Lock()
+				replies = append(replies, reply{path, body})
+				mu.Unlock()
+			}(q.path)
+		}
+	}
+	wg.Wait()
+	if len(replies) != total {
+		t.Fatalf("got %d replies, want %d", len(replies), total)
+	}
+
+	// Direct library answers — what every served response must equal.
+	count600, err := hare.Count(g, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count300, err := hare.Count(g, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star600, err := hare.CountStar4(g, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path600, err := hare.CountPath4(g, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig600, err := hare.Significance(g, 600, hare.SignificanceOptions{Trials: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantMatrix := func(m hare.Matrix) map[string]uint64 {
+		out := make(map[string]uint64, 36)
+		for _, l := range hare.AllLabels() {
+			out[l.String()] = m.At(l)
+		}
+		return out
+	}
+	wantPatterns := make(map[string]uint64, 8)
+	for i, v := range star600 {
+		d1, d2, d3 := motif.PairDirs(i)
+		wantPatterns[fmt.Sprintf("%s,%s,%s", d1, d2, d3)] = v
+	}
+	wantPaths := make(map[string]uint64)
+	for _, lc := range path600.Labels() {
+		wantPaths[lc.Label.String()] = lc.Count
+	}
+
+	equalMaps := func(got, want map[string]uint64) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, r := range replies {
+		switch {
+		case strings.Contains(r.path, "motif=M26"):
+			if got := r.body.Count; got == nil || *got != count600.Matrix.At(hare.MustLabel("M26")) {
+				t.Errorf("%s: count = %v, want %d", r.path, got, count600.Matrix.At(hare.MustLabel("M26")))
+			}
+			// Restricted mode zeroes the other categories but must keep
+			// every triangle cell exact.
+			for _, l := range hare.AllLabels() {
+				if l.Category() == hare.CategoryTri && r.body.Matrix[l.String()] != count600.Matrix.At(l) {
+					t.Errorf("%s: %s = %d, want %d", r.path, l, r.body.Matrix[l.String()], count600.Matrix.At(l))
+				}
+			}
+		case strings.Contains(r.path, "/v1/count?dataset=college&delta=600"):
+			if !equalMaps(r.body.Matrix, wantMatrix(count600.Matrix)) {
+				t.Errorf("%s: matrix diverges from direct hare.Count", r.path)
+			}
+			if r.body.Total != count600.Matrix.Total() {
+				t.Errorf("%s: total = %d, want %d", r.path, r.body.Total, count600.Matrix.Total())
+			}
+		case strings.Contains(r.path, "delta=300"):
+			if !equalMaps(r.body.Matrix, wantMatrix(count300.Matrix)) {
+				t.Errorf("%s: matrix diverges from direct hare.Count", r.path)
+			}
+		case strings.Contains(r.path, "star4"):
+			if !equalMaps(r.body.Patterns, wantPatterns) {
+				t.Errorf("%s: patterns = %v, want %v", r.path, r.body.Patterns, wantPatterns)
+			}
+			if r.body.Total != star600.Total() {
+				t.Errorf("%s: total = %d, want %d", r.path, r.body.Total, star600.Total())
+			}
+		case strings.Contains(r.path, "path4"):
+			if !equalMaps(r.body.Paths, wantPaths) {
+				t.Errorf("%s: paths = %v, want %v", r.path, r.body.Paths, wantPaths)
+			}
+		case strings.Contains(r.path, "sig"):
+			if len(r.body.Motifs) != 36 {
+				t.Fatalf("%s: %d motifs", r.path, len(r.body.Motifs))
+			}
+			for _, m := range r.body.Motifs {
+				l := hare.MustLabel(m.Label)
+				if m.Real != sig600.Real.At(l) || m.Mean != sig600.MeanAt(l) ||
+					m.Std != sig600.StdAt(l) || m.PUpper != sig600.PUpperAt(l) ||
+					m.PLower != sig600.PLowerAt(l) {
+					t.Errorf("%s: %s stats diverge from direct hare.Significance", r.path, m.Label)
+				}
+			}
+		default:
+			t.Errorf("unmatched reply path %s", r.path)
+		}
+	}
+
+	// Cache accounting: each unique canonical request computed exactly
+	// once; every other request was served by the LRU (hit) or joined an
+	// in-flight computation (coalesced).
+	hits, misses, evictions, coalesced := srv.CacheStats()
+	if misses != uint64(uniqueKeys) {
+		t.Errorf("misses = %d, want %d (one compute per unique request)", misses, uniqueKeys)
+	}
+	if hits+coalesced != uint64(total-uniqueKeys) {
+		t.Errorf("hits+coalesced = %d+%d, want %d", hits, coalesced, total-uniqueKeys)
+	}
+	if evictions != 0 {
+		t.Errorf("evictions = %d, want 0", evictions)
+	}
+
+	// The responses themselves must agree with the counters.
+	var cachedSeen, coalescedSeen, freshSeen uint64
+	for _, r := range replies {
+		switch {
+		case r.body.Cached:
+			cachedSeen++
+		case r.body.Coalesced:
+			coalescedSeen++
+		default:
+			freshSeen++
+		}
+	}
+	if freshSeen != misses || cachedSeen != hits || coalescedSeen != coalesced {
+		t.Errorf("response flags fresh/cached/coalesced = %d/%d/%d, counters = %d/%d/%d",
+			freshSeen, cachedSeen, coalescedSeen, misses, hits, coalesced)
+	}
+
+	// /metrics aggregates the same story.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		fmt.Sprintf("hared_cache_misses_total %d", misses),
+		fmt.Sprintf("hared_cache_hits_total %d", hits),
+		fmt.Sprintf("hared_dedup_coalesced_total %d", coalesced),
+		"hared_dataset_loads_total 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

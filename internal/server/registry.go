@@ -1,0 +1,179 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hare/internal/temporal"
+)
+
+// LoadFunc produces a dataset's graph. The registry calls it at most once
+// per residency: on the first request that needs the dataset, and again
+// only if the graph was evicted in between.
+type LoadFunc func() (*temporal.Graph, error)
+
+// Registry maps dataset names to immutable graphs, loading each one
+// lazily, exactly once per residency (concurrent first requests coalesce
+// onto a single load), and evicting the least recently used graph when
+// more than maxLoaded are resident. Registrations themselves are never
+// evicted — an evicted dataset transparently reloads on next use.
+type Registry struct {
+	mu        sync.Mutex
+	entries   map[string]*regEntry
+	lru       *list.List // front = most recently used resident graph
+	maxLoaded int
+	flights   group // coalesces concurrent first loads per dataset
+
+	loads     uint64
+	evictions uint64
+}
+
+type regEntry struct {
+	name string
+	load LoadFunc
+	desc string
+
+	g    *temporal.Graph // nil when not resident
+	elem *list.Element   // position in lru when resident
+}
+
+// NewRegistry returns a registry keeping at most maxLoaded graphs resident
+// (0 means unbounded).
+func NewRegistry(maxLoaded int) *Registry {
+	return &Registry{
+		entries:   make(map[string]*regEntry),
+		lru:       list.New(),
+		maxLoaded: maxLoaded,
+	}
+}
+
+// Register adds a named dataset backed by a loader. desc is a short
+// human-readable description surfaced by /v1/datasets.
+func (r *Registry) Register(name, desc string, load LoadFunc) error {
+	if name == "" {
+		return fmt.Errorf("server: empty dataset name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("server: dataset %q already registered", name)
+	}
+	r.entries[name] = &regEntry{name: name, load: load, desc: desc}
+	return nil
+}
+
+// RegisterGraph adds a pre-built resident graph. It never loads and, being
+// backed by an always-ready loader, reinstates itself at zero cost if
+// evicted.
+func (r *Registry) RegisterGraph(name, desc string, g *temporal.Graph) error {
+	return r.Register(name, desc, func() (*temporal.Graph, error) { return g, nil })
+}
+
+// Get returns the named graph, loading it if necessary. Concurrent callers
+// for the same dataset share one load (and a panicking loader resolves as
+// an error instead of wedging the dataset — see group).
+func (r *Registry) Get(name string) (*temporal.Graph, error) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if !ok {
+		r.mu.Unlock()
+		return nil, &UnknownDatasetError{Name: name}
+	}
+	if e.g != nil {
+		r.lru.MoveToFront(e.elem)
+		g := e.g
+		r.mu.Unlock()
+		return g, nil
+	}
+	r.mu.Unlock()
+
+	// Loads always run to completion once started — a graph is durable
+	// state worth keeping even if the requesters gave up — hence the
+	// Background context.
+	v, _, err := r.flights.do(context.Background(), name, func(context.Context) (any, error) {
+		g, err := e.load()
+		if err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		// Store before the flight resolves so a Get racing its completion
+		// finds the resident graph instead of starting a second load.
+		r.loads++
+		if e.elem != nil {
+			// Rare duplicate load (a previous flight resolved between this
+			// caller's residency check and its flight join): refresh the
+			// existing LRU element rather than double-inserting the entry.
+			e.g = g
+			r.lru.MoveToFront(e.elem)
+		} else {
+			e.g = g
+			e.elem = r.lru.PushFront(e)
+			r.evictOverflow()
+		}
+		r.mu.Unlock()
+		return g, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*temporal.Graph), nil
+}
+
+// evictOverflow drops least-recently-used resident graphs beyond the
+// budget. Callers hold r.mu. Graphs handed out earlier stay valid — they
+// are immutable and garbage collected once the last request drops them.
+func (r *Registry) evictOverflow() {
+	if r.maxLoaded <= 0 {
+		return
+	}
+	for r.lru.Len() > r.maxLoaded {
+		back := r.lru.Back()
+		e := r.lru.Remove(back).(*regEntry)
+		e.g, e.elem = nil, nil
+		r.evictions++
+	}
+}
+
+// UnknownDatasetError reports a request for an unregistered dataset.
+type UnknownDatasetError struct{ Name string }
+
+func (e *UnknownDatasetError) Error() string {
+	return fmt.Sprintf("unknown dataset %q", e.Name)
+}
+
+// DatasetInfo describes one registered dataset for /v1/datasets.
+type DatasetInfo struct {
+	Name   string `json:"name"`
+	Desc   string `json:"desc,omitempty"`
+	Loaded bool   `json:"loaded"`
+	Nodes  int    `json:"nodes,omitempty"`
+	Edges  int    `json:"edges,omitempty"`
+}
+
+// List describes the registered datasets, sorted by name.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		info := DatasetInfo{Name: e.name, Desc: e.desc, Loaded: e.g != nil}
+		if e.g != nil {
+			info.Nodes = e.g.NumNodes()
+			info.Edges = e.g.NumEdges()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Stats returns cumulative load and eviction counts and the resident set
+// size.
+func (r *Registry) Stats() (loads, evictions uint64, resident int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.loads, r.evictions, r.lru.Len()
+}

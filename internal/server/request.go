@@ -1,0 +1,174 @@
+package server
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"hare/internal/motif"
+	"hare/internal/nullmodel"
+)
+
+// Kind names a query family. Each kind maps to one /v1 endpoint and one
+// Backend method.
+type Kind string
+
+// Query kinds.
+const (
+	KindCount Kind = "count"
+	KindStar4 Kind = "star4"
+	KindPath4 Kind = "path4"
+	KindSig   Kind = "sig"
+)
+
+// Request is the canonical form of one query. The CLI, the HTTP handlers
+// and the result cache all speak this type: handlers parse URL queries into
+// it, the cache keys on its Key(), and the daemon's load generator builds
+// the same URLs from it.
+//
+// Workers and Thrd are scheduling hints: every counting algorithm in hare
+// is exact and bit-identical at any worker count or degree threshold, so
+// they steer resource use but never the answer — and therefore do not
+// participate in the cache key.
+type Request struct {
+	Kind    Kind
+	Dataset string
+	// Delta is the motif window δ in the dataset's time units (default 600).
+	Delta int64
+	// Motif restricts a count query to one motif's category and names the
+	// cell to surface as the scalar "count" field (count kind only).
+	Motif string
+	// Workers is the per-job parallelism hint (0 = the server's job width).
+	Workers int
+	// Thrd overrides HARE's degree threshold when ThrdSet (0 = auto).
+	Thrd    int
+	ThrdSet bool
+	// Significance options (sig kind only).
+	Model   string
+	Samples int
+	Seed    int64
+}
+
+// normalize applies defaults and validates the request. It returns the
+// parsed motif label (zero when unrestricted).
+func (r *Request) normalize() (motif.Label, error) {
+	if r.Dataset == "" {
+		return motif.Label{}, fmt.Errorf("missing dataset")
+	}
+	if r.Delta == 0 {
+		r.Delta = 600
+	}
+	if r.Delta < 0 {
+		return motif.Label{}, fmt.Errorf("delta must be > 0 (got %d)", r.Delta)
+	}
+	if r.Workers < 0 {
+		return motif.Label{}, fmt.Errorf("workers must be >= 0 (got %d)", r.Workers)
+	}
+	var label motif.Label
+	if r.Motif != "" {
+		if r.Kind != KindCount {
+			return motif.Label{}, fmt.Errorf("motif applies only to count queries")
+		}
+		var err error
+		if label, err = motif.ParseLabel(r.Motif); err != nil {
+			return motif.Label{}, err
+		}
+	}
+	if r.Kind == KindSig {
+		if r.Model == "" {
+			r.Model = nullmodel.TimeShuffle.String()
+		}
+		if _, err := nullmodel.ParseModel(r.Model); err != nil {
+			return motif.Label{}, err
+		}
+		if r.Samples == 0 {
+			r.Samples = 20
+		}
+		if r.Samples < 1 {
+			return motif.Label{}, fmt.Errorf("samples must be >= 1 (got %d)", r.Samples)
+		}
+	}
+	return label, nil
+}
+
+// categoryKey is the cache-key fragment for a count request's motif
+// restriction. Pair and star motifs are counted together (they share
+// Algorithm 1), so their categories canonicalize to one key and one cached
+// matrix serves both.
+func categoryKey(m string) string {
+	if m == "" {
+		return "all"
+	}
+	l, err := motif.ParseLabel(m)
+	if err != nil {
+		return "all" // unreachable after normalize; be permissive
+	}
+	switch l.Category() {
+	case motif.CategoryTri:
+		return "tri"
+	default:
+		return "starpair"
+	}
+}
+
+// Key returns the canonical cache key: every field that can change the
+// answer, and none that cannot. Two requests with equal keys are satisfied
+// by one computation.
+func (r *Request) Key() string {
+	switch r.Kind {
+	case KindSig:
+		return fmt.Sprintf("sig|%s|%d|%s|%d|%d", r.Dataset, r.Delta, r.Model, r.Samples, r.Seed)
+	case KindCount:
+		return fmt.Sprintf("count|%s|%d|%s", r.Dataset, r.Delta, categoryKey(r.Motif))
+	default:
+		return fmt.Sprintf("%s|%s|%d", r.Kind, r.Dataset, r.Delta)
+	}
+}
+
+// ParseRequest decodes a query string into a normalized Request.
+func ParseRequest(kind Kind, q url.Values) (Request, motif.Label, error) {
+	r := Request{
+		Kind:    kind,
+		Dataset: q.Get("dataset"),
+		Motif:   q.Get("motif"),
+		Model:   q.Get("model"),
+	}
+	var err error
+	if r.Delta, err = intParam(q, "delta"); err != nil {
+		return r, motif.Label{}, err
+	}
+	w, err := intParam(q, "workers")
+	if err != nil {
+		return r, motif.Label{}, err
+	}
+	r.Workers = int(w)
+	if v := q.Get("thrd"); v != "" {
+		t, err := strconv.Atoi(v)
+		if err != nil {
+			return r, motif.Label{}, fmt.Errorf("thrd: %v", err)
+		}
+		r.Thrd, r.ThrdSet = t, true
+	}
+	s, err := intParam(q, "samples")
+	if err != nil {
+		return r, motif.Label{}, err
+	}
+	r.Samples = int(s)
+	if r.Seed, err = intParam(q, "seed"); err != nil {
+		return r, motif.Label{}, err
+	}
+	label, err := r.normalize()
+	return r, label, err
+}
+
+func intParam(q url.Values, name string) (int64, error) {
+	v := q.Get(name)
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", name, err)
+	}
+	return n, nil
+}

@@ -1,0 +1,423 @@
+// Package server implements hared, the long-lived concurrent query service
+// over hare's counting engines. It is organized as three small layers:
+//
+//   - a graph Registry that loads each named dataset at most once (via the
+//     parallel loader), shares the immutable CSR graph across requests and
+//     LRU-evicts residents beyond a budget;
+//   - a result Cache keyed by canonicalized request with singleflight
+//     deduplication, so a thundering herd of identical queries computes
+//     each answer exactly once;
+//   - an Admission controller — a weighted FIFO semaphore — bounding the
+//     total worker budget of concurrently running counting jobs.
+//
+// The actual counting is injected through the Backend interface: the root
+// hare package (which this package must not import) wires its public
+// Count/CountStar4/CountPath4/Ensemble APIs in, so served answers are the
+// same bits a direct library call returns.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"time"
+
+	"hare/internal/higher"
+	"hare/internal/motif"
+	"hare/internal/nullmodel"
+	"hare/internal/temporal"
+)
+
+// Backend performs the counting for the four query kinds. Implementations
+// must be safe for concurrent use and exact: the answer may not depend on
+// req.Workers or req.Thrd.
+type Backend interface {
+	Count(g *temporal.Graph, req Request) (CountAnswer, error)
+	Star4(g *temporal.Graph, req Request) (higher.Star4Counter, error)
+	Path4(g *temporal.Graph, req Request) (higher.PathCounter, error)
+	Significance(g *temporal.Graph, req Request) (*nullmodel.Report, error)
+}
+
+// CountAnswer is a Backend.Count result: the exact matrix plus the
+// scheduling the engine actually applied.
+type CountAnswer struct {
+	Matrix          motif.Matrix
+	Workers         int
+	DegreeThreshold int
+}
+
+// Options configures a Server.
+type Options struct {
+	// Backend runs the counting jobs (required).
+	Backend Backend
+	// CacheSize bounds the result cache in entries (0 = default 1024,
+	// negative = disable storage; in-flight dedup always applies).
+	CacheSize int
+	// WorkerBudget bounds the summed worker weight of concurrently running
+	// jobs (0 = GOMAXPROCS). A request's weight is its workers parameter,
+	// defaulting to the full budget (one exclusive job at a time).
+	WorkerBudget int
+	// MaxLoadedGraphs bounds resident datasets; least recently used
+	// residents are evicted and transparently reload (0 = unbounded).
+	MaxLoadedGraphs int
+	// Version is reported by /healthz and hared_build_info.
+	Version string
+}
+
+// Server is the hared HTTP service. Create with New, register datasets,
+// then serve Handler.
+type Server struct {
+	backend   Backend
+	registry  *Registry
+	cache     *Cache
+	admission *Admission
+	metrics   *metrics
+	version   string
+	mux       *http.ServeMux
+}
+
+// New returns a Server with no datasets registered.
+func New(opts Options) (*Server, error) {
+	if opts.Backend == nil {
+		return nil, fmt.Errorf("server: Options.Backend is required")
+	}
+	cacheSize := opts.CacheSize
+	if cacheSize == 0 {
+		cacheSize = 1024
+	}
+	budget := opts.WorkerBudget
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		backend:   opts.Backend,
+		registry:  NewRegistry(opts.MaxLoadedGraphs),
+		cache:     NewCache(cacheSize),
+		admission: NewAdmission(budget),
+		metrics:   newMetrics(),
+		version:   opts.Version,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/count", s.query(KindCount))
+	s.mux.HandleFunc("/v1/star4", s.query(KindStar4))
+	s.mux.HandleFunc("/v1/path4", s.query(KindPath4))
+	s.mux.HandleFunc("/v1/sig", s.query(KindSig))
+	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Register adds a dataset backed by a loader; see Registry.Register.
+func (s *Server) Register(name, desc string, load LoadFunc) error {
+	return s.registry.Register(name, desc, load)
+}
+
+// RegisterGraph adds a pre-built dataset; see Registry.RegisterGraph.
+func (s *Server) RegisterGraph(name, desc string, g *temporal.Graph) error {
+	return s.registry.RegisterGraph(name, desc, g)
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Preload loads the named dataset now (instead of on first request) and
+// returns its graph.
+func (s *Server) Preload(name string) (*temporal.Graph, error) { return s.registry.Get(name) }
+
+// CacheStats exposes the result-cache counters (hits, misses, evictions,
+// coalesced in-flight joins) for tests and load reports.
+func (s *Server) CacheStats() (hits, misses, evictions, coalesced uint64) {
+	return s.cache.Stats()
+}
+
+// httpError is an error with a dedicated HTTP status.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+// jobResult is what the cache stores: one computed answer plus the
+// scheduling metadata of the job that produced it and the graph shape it
+// ran against — carried here so that serving a cached result never needs
+// the graph to be resident (a hit on an LRU-evicted dataset must not
+// trigger a multi-second reload just to render metadata).
+type jobResult struct {
+	kind    Kind
+	elapsed time.Duration
+	workers int
+	nodes   int
+	edges   int
+
+	count *CountAnswer
+	star4 *higher.Star4Counter
+	path4 *higher.PathCounter
+	sig   *nullmodel.Report
+}
+
+// query returns the handler for one query kind.
+func (s *Server) query(kind Kind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		failed := false
+		defer func() { s.metrics.observe(string(kind), time.Since(start), failed) }()
+		if r.Method != http.MethodGet {
+			failed = true
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+			return
+		}
+		req, label, err := ParseRequest(kind, r.URL.Query())
+		if err != nil {
+			failed = true
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		// The flight's context outlives any single request: one client
+		// disconnecting never fails the other members of its coalesced
+		// flight. Only when every request for the key has gone is the
+		// flight canceled, shedding its queued admission wait.
+		val, hit, shared, err := s.cache.Do(r.Context(), req.Key(), func(ctx context.Context) (any, error) {
+			return s.compute(ctx, req)
+		})
+		if err != nil {
+			failed = true
+			status := http.StatusInternalServerError
+			var unknown *UnknownDatasetError
+			var he *httpError
+			switch {
+			case errors.As(err, &unknown):
+				status = http.StatusNotFound
+			case errors.As(err, &he):
+				status = he.status
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				// The requester (or its whole flight) went away first.
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err)
+			return
+		}
+		res := val.(*jobResult)
+		writeJSON(w, s.response(req, label, res, hit, shared))
+	}
+}
+
+// compute resolves the dataset and runs one counting job under admission
+// control. It executes inside the cache's singleflight: concurrent
+// identical requests run it once.
+func (s *Server) compute(ctx context.Context, req Request) (any, error) {
+	g, err := s.registry.Get(req.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	weight, err := s.admission.Acquire(ctx, s.jobWeight(req))
+	if err != nil {
+		return nil, &httpError{status: http.StatusServiceUnavailable, err: err}
+	}
+	defer s.admission.Release(weight)
+	// The backend always receives the resolved worker count, so the job is
+	// exactly as wide as the budget units it holds.
+	req.Workers = weight
+	start := time.Now()
+	res := &jobResult{kind: req.Kind, workers: weight, nodes: g.NumNodes(), edges: g.NumEdges()}
+	switch req.Kind {
+	case KindCount:
+		ans, err := s.backend.Count(g, req)
+		if err != nil {
+			return nil, err
+		}
+		res.count = &ans
+	case KindStar4:
+		c, err := s.backend.Star4(g, req)
+		if err != nil {
+			return nil, err
+		}
+		res.star4 = &c
+	case KindPath4:
+		c, err := s.backend.Path4(g, req)
+		if err != nil {
+			return nil, err
+		}
+		res.path4 = &c
+	case KindSig:
+		rep, err := s.backend.Significance(g, req)
+		if err != nil {
+			return nil, err
+		}
+		res.sig = rep
+	default:
+		return nil, fmt.Errorf("unknown kind %q", req.Kind)
+	}
+	res.elapsed = time.Since(start)
+	return res, nil
+}
+
+// jobWeight resolves a request's admission weight: its workers hint, or
+// the whole budget when unset.
+func (s *Server) jobWeight(req Request) int {
+	if req.Workers > 0 {
+		return req.Workers
+	}
+	return s.admission.Budget()
+}
+
+// queryResponse is the JSON envelope shared by all /v1 query endpoints.
+// Exactly one of Matrix, Patterns, Paths, Motifs is set, per kind.
+type queryResponse struct {
+	Dataset      string `json:"dataset"`
+	DeltaSeconds int64  `json:"delta_seconds"`
+	Nodes        int    `json:"nodes"`
+	Edges        int    `json:"edges"`
+
+	Matrix          map[string]uint64 `json:"matrix,omitempty"`
+	Motif           string            `json:"motif,omitempty"`
+	Count           *uint64           `json:"count,omitempty"`
+	DegreeThreshold *int              `json:"degree_threshold,omitempty"`
+
+	Patterns map[string]uint64 `json:"patterns,omitempty"`
+	Paths    map[string]uint64 `json:"paths,omitempty"`
+
+	Model   string     `json:"model,omitempty"`
+	Samples int        `json:"samples,omitempty"`
+	Seed    *int64     `json:"seed,omitempty"`
+	Motifs  []sigMotif `json:"motifs,omitempty"`
+
+	Total     uint64  `json:"total"`
+	Workers   int     `json:"workers"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Cached    bool    `json:"cached"`
+	Coalesced bool    `json:"coalesced,omitempty"`
+}
+
+// sigMotif is one motif's significance statistics. Z is omitted (ZInf
+// carries the sign) when the null has zero variance and the real count
+// differs — JSON cannot represent ±Inf.
+type sigMotif struct {
+	Label  string   `json:"label"`
+	Real   uint64   `json:"real"`
+	Mean   float64  `json:"mean"`
+	Std    float64  `json:"std"`
+	Z      *float64 `json:"z,omitempty"`
+	ZInf   string   `json:"z_inf,omitempty"`
+	PUpper float64  `json:"p_upper"`
+	PLower float64  `json:"p_lower"`
+}
+
+// response renders a cached or fresh jobResult for one concrete request.
+// The same cached matrix serves every motif restriction in its category;
+// the requested cell is extracted here, per request.
+func (s *Server) response(req Request, label motif.Label, res *jobResult, hit, shared bool) *queryResponse {
+	out := &queryResponse{
+		Dataset:      req.Dataset,
+		DeltaSeconds: req.Delta,
+		Nodes:        res.nodes,
+		Edges:        res.edges,
+		Workers:      res.workers,
+		ElapsedMS:    float64(res.elapsed.Nanoseconds()) / 1e6,
+		Cached:       hit,
+		Coalesced:    shared,
+	}
+	switch req.Kind {
+	case KindCount:
+		m := res.count.Matrix
+		out.Matrix = make(map[string]uint64, 36)
+		for _, l := range motif.AllLabels() {
+			out.Matrix[l.String()] = m.At(l)
+		}
+		out.Total = m.Total()
+		thrd := res.count.DegreeThreshold
+		out.DegreeThreshold = &thrd
+		if req.Motif != "" {
+			out.Motif = label.String()
+			c := m.At(label)
+			out.Count = &c
+		}
+	case KindStar4:
+		out.Patterns = make(map[string]uint64, 8)
+		for i, v := range res.star4 {
+			d1, d2, d3 := motif.PairDirs(i)
+			out.Patterns[fmt.Sprintf("%s,%s,%s", d1, d2, d3)] = v
+		}
+		out.Total = res.star4.Total()
+	case KindPath4:
+		out.Paths = make(map[string]uint64, 24)
+		for _, lc := range res.path4.Labels() {
+			out.Paths[lc.Label.String()] = lc.Count
+		}
+		out.Total = res.path4.Total()
+	case KindSig:
+		rep := res.sig
+		out.Model = rep.Model.String()
+		out.Samples = rep.Trials
+		seed := req.Seed
+		out.Seed = &seed
+		out.Total = rep.Real.Total()
+		out.Motifs = make([]sigMotif, 0, 36)
+		for _, l := range motif.AllLabels() {
+			sm := sigMotif{
+				Label:  l.String(),
+				Real:   rep.Real.At(l),
+				Mean:   rep.MeanAt(l),
+				Std:    rep.StdAt(l),
+				PUpper: rep.PUpperAt(l),
+				PLower: rep.PLowerAt(l),
+			}
+			switch z := rep.ZScore(l); {
+			case math.IsInf(z, 1):
+				sm.ZInf = "+"
+			case math.IsInf(z, -1):
+				sm.ZInf = "-"
+			default:
+				sm.Z = &z
+			}
+			out.Motifs = append(out.Motifs, sm)
+		}
+	}
+	return out
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.metrics.observe("datasets", time.Since(start), false) }()
+	writeJSON(w, map[string]any{"datasets": s.registry.List()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.metrics.observe("healthz", time.Since(start), false) }()
+	_, _, resident := s.registry.Stats()
+	writeJSON(w, map[string]any{
+		"status":         "ok",
+		"version":        s.version,
+		"datasets":       len(s.registry.List()),
+		"loaded":         resident,
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, s)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing to do but note it for the access log.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,673 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hare/internal/higher"
+	"hare/internal/motif"
+	"hare/internal/nullmodel"
+	"hare/internal/temporal"
+)
+
+// fakeBackend returns deterministic counts derived from δ and tracks how
+// many jobs run, and how many concurrently. block, when set, gates every
+// job so tests can hold jobs in flight.
+type fakeBackend struct {
+	calls      atomic.Int64
+	inflight   atomic.Int64
+	maxSeen    atomic.Int64
+	block      chan struct{} // nil = don't block
+	workerSeen atomic.Int64
+}
+
+func (f *fakeBackend) enter() {
+	f.calls.Add(1)
+	cur := f.inflight.Add(1)
+	for {
+		old := f.maxSeen.Load()
+		if cur <= old || f.maxSeen.CompareAndSwap(old, cur) {
+			break
+		}
+	}
+	if f.block != nil {
+		<-f.block
+	}
+}
+
+func (f *fakeBackend) exit() { f.inflight.Add(-1) }
+
+func (f *fakeBackend) Count(g *temporal.Graph, req Request) (CountAnswer, error) {
+	f.enter()
+	defer f.exit()
+	f.workerSeen.Store(int64(req.Workers))
+	var m motif.Matrix
+	m.Set(motif.Label{Row: 2, Col: 6}, uint64(req.Delta))
+	return CountAnswer{Matrix: m, Workers: req.Workers, DegreeThreshold: 7}, nil
+}
+
+func (f *fakeBackend) Star4(g *temporal.Graph, req Request) (higher.Star4Counter, error) {
+	f.enter()
+	defer f.exit()
+	var c higher.Star4Counter
+	c[0] = uint64(req.Delta) * 2
+	return c, nil
+}
+
+func (f *fakeBackend) Path4(g *temporal.Graph, req Request) (higher.PathCounter, error) {
+	f.enter()
+	defer f.exit()
+	var c higher.PathCounter
+	c[7] = uint64(req.Delta) * 3
+	return c, nil
+}
+
+func (f *fakeBackend) Significance(g *temporal.Graph, req Request) (*nullmodel.Report, error) {
+	f.enter()
+	defer f.exit()
+	rep := &nullmodel.Report{Trials: req.Samples, Workers: req.Workers}
+	rep.Real.Set(motif.Label{Row: 1, Col: 1}, uint64(req.Seed))
+	return rep, nil
+}
+
+func tinyGraph() *temporal.Graph {
+	return temporal.FromEdges([]temporal.Edge{
+		{From: 0, To: 1, Time: 1}, {From: 1, To: 2, Time: 2}, {From: 2, To: 0, Time: 3},
+	})
+}
+
+func newTestServer(t *testing.T, opts Options) (*Server, *fakeBackend) {
+	t.Helper()
+	fb := &fakeBackend{}
+	if opts.Backend == nil {
+		opts.Backend = fb
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterGraph("tiny", "test graph", tinyGraph()); err != nil {
+		t.Fatal(err)
+	}
+	return s, fb
+}
+
+func get(t *testing.T, s *Server, path string) (int, map[string]any) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		if rec.Header().Get("Content-Type") == "application/json" {
+			t.Fatalf("GET %s: bad JSON %q: %v", path, rec.Body.String(), err)
+		}
+		body = nil
+	}
+	return rec.Code, body
+}
+
+func TestParseRequestDefaultsAndErrors(t *testing.T) {
+	req, _, err := ParseRequest(KindCount, url.Values{"dataset": {"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Delta != 600 {
+		t.Fatalf("default delta = %d, want 600", req.Delta)
+	}
+	req, _, err = ParseRequest(KindSig, url.Values{"dataset": {"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Model != "time-shuffle" || req.Samples != 20 {
+		t.Fatalf("sig defaults = %q/%d", req.Model, req.Samples)
+	}
+	for _, bad := range []url.Values{
+		{}, // missing dataset
+		{"dataset": {"x"}, "delta": {"-1"}},
+		{"dataset": {"x"}, "delta": {"abc"}},
+		{"dataset": {"x"}, "workers": {"-2"}},
+		{"dataset": {"x"}, "motif": {"M99"}},
+		{"dataset": {"x"}, "thrd": {"zzz"}},
+	} {
+		if _, _, err := ParseRequest(KindCount, bad); err == nil {
+			t.Errorf("ParseRequest(%v): want error", bad)
+		}
+	}
+	if _, _, err := ParseRequest(KindSig, url.Values{"dataset": {"x"}, "model": {"nope"}}); err == nil {
+		t.Error("bad model: want error")
+	}
+	if _, _, err := ParseRequest(KindSig, url.Values{"dataset": {"x"}, "samples": {"-1"}}); err == nil {
+		t.Error("negative samples: want error")
+	}
+	if _, _, err := ParseRequest(KindStar4, url.Values{"dataset": {"x"}, "motif": {"M26"}}); err == nil {
+		t.Error("motif on star4: want error")
+	}
+}
+
+func TestRequestKeyCanonicalization(t *testing.T) {
+	base := Request{Kind: KindCount, Dataset: "d", Delta: 600}
+	withWorkers := base
+	withWorkers.Workers = 8
+	withThrd := base
+	withThrd.Thrd, withThrd.ThrdSet = 100, true
+	if base.Key() != withWorkers.Key() || base.Key() != withThrd.Key() {
+		t.Errorf("scheduling knobs leaked into key: %q vs %q vs %q",
+			base.Key(), withWorkers.Key(), withThrd.Key())
+	}
+	// Pair and star categories share one cached matrix.
+	pair := base
+	pair.Motif = "M11" // a pair motif cell
+	star := base
+	star.Motif = "M14" // a star motif cell
+	tri := base
+	tri.Motif = "M26" // a triangle motif cell
+	if pair.Key() != star.Key() {
+		t.Errorf("pair/star keys differ: %q vs %q", pair.Key(), star.Key())
+	}
+	if pair.Key() == tri.Key() || base.Key() == tri.Key() {
+		t.Errorf("tri key not distinct: %q vs %q vs %q", base.Key(), pair.Key(), tri.Key())
+	}
+	sig := Request{Kind: KindSig, Dataset: "d", Delta: 600, Model: "time-shuffle", Samples: 20}
+	sig2 := sig
+	sig2.Seed = 1
+	if sig.Key() == sig2.Key() {
+		t.Error("sig seed must be part of the key")
+	}
+}
+
+func TestCacheHitMissEviction(t *testing.T) {
+	ctx := context.Background()
+	c := NewCache(2)
+	compute := func(v int) func(context.Context) (any, error) {
+		return func(context.Context) (any, error) { return v, nil }
+	}
+	for i, key := range []string{"a", "b", "a", "c", "b"} {
+		if _, _, _, err := c.Do(ctx, key, compute(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a,b cached; a hit; c evicts b (LRU after a's touch); b recomputes.
+	hits, misses, evictions, _ := c.Stats()
+	if hits != 1 || misses != 4 || evictions != 2 {
+		t.Fatalf("hits/misses/evictions = %d/%d/%d, want 1/4/2", hits, misses, evictions)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	// Errors are not cached.
+	ec := NewCache(2)
+	if _, _, _, err := ec.Do(ctx, "k", func(context.Context) (any, error) { return nil, fmt.Errorf("boom") }); err == nil {
+		t.Fatal("want error")
+	}
+	if ec.Len() != 0 {
+		t.Fatal("error result was cached")
+	}
+	// Capacity <= 0 disables storage but still dedups.
+	dc := NewCache(-1)
+	dc.Do(ctx, "k", compute(1))
+	if dc.Len() != 0 {
+		t.Fatal("disabled cache stored a result")
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(8)
+	release := make(chan struct{})
+	var computes atomic.Int64
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, _, err := c.Do(context.Background(), "key", func(context.Context) (any, error) {
+				computes.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Wait until the leader is inside compute, then let everyone go.
+	for computes.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond) // let the herd pile onto the flight
+	close(release)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("results[%d] = %v", i, v)
+		}
+	}
+	hits, misses, _, coalesced := c.Stats()
+	if misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+	if hits+coalesced != n-1 {
+		t.Fatalf("hits+coalesced = %d+%d, want %d", hits, coalesced, n-1)
+	}
+}
+
+func TestCachePanicDoesNotWedgeKey(t *testing.T) {
+	ctx := context.Background()
+	c := NewCache(4)
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.Do(ctx, "key", func(context.Context) (any, error) {
+			close(inFlight)
+			<-release
+			panic("boom")
+		})
+		leaderErr <- err
+	}()
+	<-inFlight
+	followerErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.Do(ctx, "key", func(context.Context) (any, error) { return nil, nil })
+		followerErr <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the follower join the flight
+	close(release)
+	for name, ch := range map[string]chan error{"leader": leaderErr, "follower": followerErr} {
+		select {
+		case err := <-ch:
+			if err == nil || !strings.Contains(err.Error(), "panicked") {
+				t.Fatalf("%s of a panicked flight: err = %v, want panic error", name, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%s wedged on a panicked flight", name)
+		}
+	}
+	// The key must be usable again, and the panic result not cached.
+	v, hit, _, err := c.Do(ctx, "key", func(context.Context) (any, error) { return 7, nil })
+	if err != nil || hit || v != 7 {
+		t.Fatalf("key wedged after panic: v=%v hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestCacheWaiterCancellation(t *testing.T) {
+	c := NewCache(4)
+	started := make(chan struct{})
+	gotCanceled := make(chan bool, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.Do(ctx, "key", func(fctx context.Context) (any, error) {
+			close(started)
+			<-fctx.Done() // flight ctx must cancel once its only waiter leaves
+			gotCanceled <- true
+			return nil, fctx.Err()
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled waiter should get its context error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled waiter did not return")
+	}
+	select {
+	case <-gotCanceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("flight context not canceled after last waiter left")
+	}
+}
+
+func TestRegistryPanicDoesNotWedgeDataset(t *testing.T) {
+	r := NewRegistry(0)
+	first := true
+	r.Register("d", "", func() (*temporal.Graph, error) {
+		if first {
+			first = false
+			panic("corrupt input")
+		}
+		return tinyGraph(), nil
+	})
+	if _, err := r.Get("d"); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want panic error", err)
+	}
+	if _, err := r.Get("d"); err != nil {
+		t.Fatalf("dataset wedged after loader panic: %v", err)
+	}
+}
+
+func TestAdmissionBoundsConcurrency(t *testing.T) {
+	const budget = 3
+	a := NewAdmission(budget)
+	var inflight, maxSeen atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, err := a.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cur := inflight.Add(1)
+			for {
+				old := maxSeen.Load()
+				if cur <= old || maxSeen.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inflight.Add(-1)
+			a.Release(w)
+		}()
+	}
+	wg.Wait()
+	if got := maxSeen.Load(); got > budget {
+		t.Fatalf("max concurrent = %d, budget %d", got, budget)
+	}
+	waits, inf := a.Stats()
+	if waits == 0 {
+		t.Error("expected some acquisitions to block")
+	}
+	if inf != 0 {
+		t.Errorf("inflight = %d after drain, want 0", inf)
+	}
+}
+
+func TestAdmissionWeightClampAndCancel(t *testing.T) {
+	a := NewAdmission(4)
+	w, err := a.Acquire(context.Background(), 100) // clamped to budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 4 {
+		t.Fatalf("clamped weight = %d, want 4", w)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx, 1)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("want context error")
+	}
+	a.Release(w)
+	// Budget must not have leaked: a full-width acquire succeeds.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if _, err := a.Acquire(ctx2, 4); err != nil {
+		t.Fatalf("budget leaked: %v", err)
+	}
+}
+
+func TestAdmissionFIFO(t *testing.T) {
+	a := NewAdmission(2)
+	w, _ := a.Acquire(context.Background(), 2)
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := a.Acquire(context.Background(), 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			a.Release(got)
+		}(i)
+		time.Sleep(10 * time.Millisecond) // serialize arrival order
+	}
+	a.Release(w)
+	wg.Wait()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("grant order = %v, want [0 1 2]", order)
+	}
+}
+
+func TestRegistryLoadOnceAndEvict(t *testing.T) {
+	r := NewRegistry(1)
+	var loadsA, loadsB atomic.Int64
+	g := tinyGraph()
+	r.Register("a", "", func() (*temporal.Graph, error) { loadsA.Add(1); return g, nil })
+	r.Register("b", "", func() (*temporal.Graph, error) { loadsB.Add(1); return g, nil })
+
+	// Concurrent first access coalesces to one load.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Get("a"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := loadsA.Load(); got != 1 {
+		t.Fatalf("a loaded %d times, want 1", got)
+	}
+	// Loading b evicts a (maxLoaded=1); touching a again reloads it.
+	if _, err := r.Get("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := loadsA.Load(); got != 2 {
+		t.Fatalf("a loaded %d times after eviction, want 2", got)
+	}
+	loads, evictions, resident := r.Stats()
+	if loads != 3 || evictions != 2 || resident != 1 {
+		t.Fatalf("loads/evictions/resident = %d/%d/%d, want 3/2/1", loads, evictions, resident)
+	}
+	if _, err := r.Get("nope"); err == nil {
+		t.Fatal("want unknown-dataset error")
+	}
+	if err := r.Register("a", "", nil); err == nil {
+		t.Fatal("want duplicate-registration error")
+	}
+}
+
+func TestRegistryLoadErrorRetries(t *testing.T) {
+	r := NewRegistry(0)
+	var n atomic.Int64
+	r.Register("flaky", "", func() (*temporal.Graph, error) {
+		if n.Add(1) == 1 {
+			return nil, fmt.Errorf("transient")
+		}
+		return tinyGraph(), nil
+	})
+	if _, err := r.Get("flaky"); err == nil {
+		t.Fatal("want first-load error")
+	}
+	if _, err := r.Get("flaky"); err != nil {
+		t.Fatalf("second load should succeed: %v", err)
+	}
+}
+
+func TestQueryEndpoints(t *testing.T) {
+	s, _ := newTestServer(t, Options{WorkerBudget: 2})
+	code, body := get(t, s, "/v1/count?dataset=tiny&delta=300")
+	if code != http.StatusOK {
+		t.Fatalf("count status = %d: %v", code, body)
+	}
+	if got := body["matrix"].(map[string]any)["M26"].(float64); got != 300 {
+		t.Fatalf("M26 = %v, want 300", got)
+	}
+	if body["cached"].(bool) {
+		t.Fatal("first request reported cached")
+	}
+	if got := body["degree_threshold"].(float64); got != 7 {
+		t.Fatalf("degree_threshold = %v", got)
+	}
+	code, body = get(t, s, "/v1/count?dataset=tiny&delta=300")
+	if code != http.StatusOK || !body["cached"].(bool) {
+		t.Fatalf("second request not cached: %d %v", code, body)
+	}
+	// The restricted-motif request extracts its cell per request.
+	code, body = get(t, s, "/v1/count?dataset=tiny&delta=300&motif=M26")
+	if code != http.StatusOK {
+		t.Fatalf("motif count status = %d", code)
+	}
+	if got := body["count"].(float64); got != 300 {
+		t.Fatalf("motif count = %v, want 300", got)
+	}
+
+	code, body = get(t, s, "/v1/star4?dataset=tiny&delta=100")
+	if code != http.StatusOK || body["total"].(float64) != 200 {
+		t.Fatalf("star4 = %d %v", code, body)
+	}
+	code, body = get(t, s, "/v1/path4?dataset=tiny&delta=100")
+	if code != http.StatusOK || body["total"].(float64) != 300 {
+		t.Fatalf("path4 = %d %v", code, body)
+	}
+	code, body = get(t, s, "/v1/sig?dataset=tiny&delta=100&seed=9&samples=5")
+	if code != http.StatusOK {
+		t.Fatalf("sig = %d %v", code, body)
+	}
+	if got := body["samples"].(float64); got != 5 {
+		t.Fatalf("sig samples = %v", got)
+	}
+	motifs := body["motifs"].([]any)
+	if len(motifs) != 36 {
+		t.Fatalf("sig motifs = %d, want 36", len(motifs))
+	}
+	if m11 := motifs[0].(map[string]any); m11["real"].(float64) != 9 {
+		t.Fatalf("sig real M11 = %v, want seed 9", m11["real"])
+	}
+}
+
+func TestHTTPErrorStatuses(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	for path, want := range map[string]int{
+		"/v1/count?dataset=nope":              http.StatusNotFound,
+		"/v1/count?dataset=tiny&delta=-1":     http.StatusBadRequest,
+		"/v1/count?dataset=tiny&motif=bogus":  http.StatusBadRequest,
+		"/v1/count":                           http.StatusBadRequest,
+		"/v1/sig?dataset=tiny&model=whatever": http.StatusBadRequest,
+	} {
+		code, body := get(t, s, path)
+		if code != want {
+			t.Errorf("GET %s = %d, want %d (%v)", path, code, want, body)
+		}
+		if body["error"] == "" {
+			t.Errorf("GET %s: missing error body", path)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/count?dataset=tiny", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST = %d, want 405", rec.Code)
+	}
+}
+
+func TestServerAdmissionBoundsJobs(t *testing.T) {
+	fb := &fakeBackend{block: make(chan struct{})}
+	s, _ := newTestServer(t, Options{Backend: fb, WorkerBudget: 2})
+	var wg sync.WaitGroup
+	const n = 8
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// workers=1 → weight 1 → at most 2 jobs run concurrently;
+			// distinct deltas so requests don't coalesce in the cache.
+			rec := httptest.NewRecorder()
+			url := fmt.Sprintf("/v1/count?dataset=tiny&delta=%d&workers=1", 100+i)
+			s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+			if rec.Code != http.StatusOK {
+				t.Errorf("status = %d", rec.Code)
+			}
+		}(i)
+	}
+	for fb.inflight.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // give extra jobs the chance to (wrongly) start
+	close(fb.block)
+	wg.Wait()
+	if got := fb.maxSeen.Load(); got > 2 {
+		t.Fatalf("max concurrent jobs = %d, want <= 2", got)
+	}
+	if got := fb.calls.Load(); got != n {
+		t.Fatalf("jobs ran = %d, want %d", got, n)
+	}
+}
+
+func TestDatasetsHealthzMetrics(t *testing.T) {
+	s, _ := newTestServer(t, Options{Version: "test-v1"})
+	code, body := get(t, s, "/v1/datasets")
+	if code != http.StatusOK {
+		t.Fatalf("datasets = %d", code)
+	}
+	ds := body["datasets"].([]any)
+	if len(ds) != 1 || ds[0].(map[string]any)["name"] != "tiny" {
+		t.Fatalf("datasets = %v", ds)
+	}
+	if ds[0].(map[string]any)["loaded"].(bool) {
+		t.Fatal("tiny should be lazy until first query")
+	}
+	get(t, s, "/v1/count?dataset=tiny&delta=60")
+	_, body = get(t, s, "/v1/datasets")
+	d0 := body["datasets"].([]any)[0].(map[string]any)
+	if !d0["loaded"].(bool) || d0["edges"].(float64) != 3 {
+		t.Fatalf("after query: %v", d0)
+	}
+
+	code, body = get(t, s, "/healthz")
+	if code != http.StatusOK || body["status"] != "ok" || body["version"] != "test-v1" {
+		t.Fatalf("healthz = %d %v", code, body)
+	}
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		`hared_requests_total{endpoint="count"} 1`,
+		"hared_cache_misses_total 1",
+		"hared_cache_hits_total 0",
+		"hared_dataset_loads_total 1",
+		"hared_worker_budget",
+		`hared_build_info{version="test-v1"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("want error for missing backend")
+	}
+}

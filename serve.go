@@ -1,0 +1,109 @@
+package hare
+
+import (
+	"fmt"
+
+	"hare/internal/higher"
+	"hare/internal/nullmodel"
+	"hare/internal/server"
+	"hare/internal/temporal"
+)
+
+// Server is the hared concurrent query service: a graph registry (each
+// named dataset loaded once and shared immutably across requests), an LRU
+// result cache with singleflight deduplication keyed by canonicalized
+// request, and a weighted-semaphore admission controller bounding the
+// worker budget of concurrent counting jobs. Construct with NewServer,
+// register datasets, then serve Handler with net/http:
+//
+//	srv, _ := hare.NewServer(hare.ServerOptions{})
+//	srv.Register("wiki", "wikitalk edges", func() (*hare.Graph, error) {
+//		return hare.LoadFile("wiki.txt.gz", hare.LoadOptions{})
+//	})
+//	http.ListenAndServe(":8315", srv.Handler())
+type Server = server.Server
+
+// ServerOptions configures NewServer. Leave Backend nil to count with this
+// package's Count/CountStar4/CountPath4/Significance — the default and
+// normally the only sensible choice.
+type ServerOptions = server.Options
+
+// QueryRequest is the canonical form of one service query; the HTTP
+// handlers, the result cache and client generators all share it.
+type QueryRequest = server.Request
+
+// QueryKind names a query family (one per /v1 endpoint).
+type QueryKind = server.Kind
+
+// Query kinds.
+const (
+	QueryCount = server.KindCount
+	QueryStar4 = server.KindStar4
+	QueryPath4 = server.KindPath4
+	QuerySig   = server.KindSig
+)
+
+// DatasetInfo describes one registered dataset, as listed by /v1/datasets.
+type DatasetInfo = server.DatasetInfo
+
+// NewServer returns a query service counting with this package's public
+// APIs. Datasets are registered afterwards via Register/RegisterGraph.
+func NewServer(opts ServerOptions) (*Server, error) {
+	if opts.Backend == nil {
+		opts.Backend = libraryBackend{}
+	}
+	return server.New(opts)
+}
+
+// libraryBackend adapts the public counting APIs to the server's Backend
+// seam, so served answers are bit-identical to direct library calls.
+type libraryBackend struct{}
+
+func (libraryBackend) options(req server.Request) []Option {
+	opts := []Option{WithWorkers(req.Workers)}
+	if req.ThrdSet && req.Thrd != 0 {
+		opts = append(opts, WithDegreeThreshold(req.Thrd))
+	}
+	return opts
+}
+
+func (b libraryBackend) Count(g *temporal.Graph, req server.Request) (server.CountAnswer, error) {
+	opts := b.options(req)
+	if req.Motif != "" {
+		l, err := ParseLabel(req.Motif)
+		if err != nil {
+			return server.CountAnswer{}, err
+		}
+		opts = append(opts, WithOnly(l.Category()))
+	}
+	res, err := Count(g, Timestamp(req.Delta), opts...)
+	if err != nil {
+		return server.CountAnswer{}, err
+	}
+	return server.CountAnswer{
+		Matrix:          res.Matrix,
+		Workers:         res.Workers,
+		DegreeThreshold: res.DegreeThreshold,
+	}, nil
+}
+
+func (b libraryBackend) Star4(g *temporal.Graph, req server.Request) (higher.Star4Counter, error) {
+	return CountStar4(g, Timestamp(req.Delta), b.options(req)...)
+}
+
+func (b libraryBackend) Path4(g *temporal.Graph, req server.Request) (higher.PathCounter, error) {
+	return CountPath4(g, Timestamp(req.Delta), b.options(req)...)
+}
+
+func (b libraryBackend) Significance(g *temporal.Graph, req server.Request) (*nullmodel.Report, error) {
+	model, err := ParseNullModel(req.Model)
+	if err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	return Significance(g, Timestamp(req.Delta), SignificanceOptions{
+		Model:   model,
+		Trials:  req.Samples,
+		Seed:    req.Seed,
+		Workers: req.Workers,
+	})
+}
