@@ -7,8 +7,14 @@
 // Usage:
 //
 //	hared -listen :8315 -data wiki=wiki.txt.gz -data sms=sms.txt
+//	hared -listen :8315 -data wiki=wiki.hare    # binary snapshot, mmapped
 //	hared -listen :8315 -gen collegemsg:0.2 -gen wikitalk:0.05
 //	hared -version
+//
+// Dataset files may be text edge lists (".gz" transparent) or binary
+// `.hare` snapshots (see docs/FORMAT.md) which load without parsing; a
+// text path automatically prefers a "<path>.hare" sibling snapshot when
+// one exists, including under -preload.
 //
 // Endpoints (all GET, JSON):
 //
@@ -58,7 +64,7 @@ func main() {
 		preload   = flag.Bool("preload", false, "load every dataset at startup instead of on first request")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
-	flag.Var(&dataFlags, "data", "dataset as name=edge-list-path (.gz ok; repeatable)")
+	flag.Var(&dataFlags, "data", "dataset as name=path (edge list, .gz, or .hare snapshot; repeatable)")
 	flag.Var(&genFlags, "gen", "synthetic dataset as name[:scale] from the built-in suite (repeatable)")
 	flag.Parse()
 	if *version {
@@ -97,10 +103,10 @@ func main() {
 		if _, err := os.Stat(path); err != nil {
 			usageErr("-data %s: %v", name, err)
 		}
-		p := path
-		if err := srv.Register(name, "edge list "+p, func() (*hare.Graph, error) {
-			return hare.LoadFile(p, loadOpts)
-		}); err != nil {
+		// FileLoader prefers a "<path>.hare" sibling snapshot (mmapped,
+		// zero-parse) when one exists, and falls back to text — logged —
+		// when a snapshot is corrupt or from a newer format version.
+		if err := srv.Register(name, "graph file "+path, hare.FileLoader(path, loadOpts, log.Printf)); err != nil {
 			usageErr("%v", err)
 		}
 		names = append(names, name)

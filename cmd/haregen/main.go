@@ -1,12 +1,17 @@
 // Command haregen generates the synthetic temporal-graph suite (or one
-// dataset) as edge-list files.
+// dataset) as edge-list files or binary .hare snapshots.
 //
 // Usage:
 //
 //	haregen -list
 //	haregen -dataset wikitalk [-scale 1.0] [-seed 0] -out wikitalk.txt.gz
+//	haregen -dataset wikitalk -out wikitalk.hare   # binary snapshot (docs/FORMAT.md)
 //	haregen -all [-scale 0.1] -outdir ./data
 //	haregen -nodes 1000 -edges 50000 -span 1000000 -out custom.txt
+//
+// The output format follows the -out extension: ".hare" writes the
+// mmap-able snapshot format that hared loads without parsing, anything
+// else a "u v t" edge list, gzipped when the path ends in ".gz".
 package main
 
 import (
@@ -27,7 +32,7 @@ func main() {
 		all     = flag.Bool("all", false, "generate the full 16-dataset suite")
 		scale   = flag.Float64("scale", 1.0, "scale factor for nodes/edges/time span")
 		seed    = flag.Int64("seed", 0, "seed offset added to the dataset's base seed")
-		out     = flag.String("out", "", "output file (required with -dataset or custom; .gz ok)")
+		out     = flag.String("out", "", "output file (required with -dataset or custom; .gz or .hare ok)")
 		outdir  = flag.String("outdir", ".", "output directory for -all")
 		nodes   = flag.Int("nodes", 0, "custom graph: node count")
 		edges   = flag.Int("edges", 0, "custom graph: edge count")

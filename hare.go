@@ -71,11 +71,13 @@ func NewBuilder(n int) *Builder { return temporal.NewBuilder(n) }
 // FromEdges builds a Graph from an edge slice (self-loops are dropped).
 func FromEdges(edges []Edge) *Graph { return temporal.FromEdges(edges) }
 
-// LoadFile reads a whitespace-separated "u v t" edge list (gzip
-// transparent). Loading is parallel by default — plain files are
-// memory-mapped and parsed in newline-aligned chunks, ".gz" files pipeline
-// decompression with parsing — and bit-identical to the sequential loader;
-// see LoadOptions.Workers.
+// LoadFile reads a graph file: ".hare" paths load as binary snapshots
+// (mmapped, zero-parse — see LoadSnapshot), everything else as a
+// whitespace-separated "u v t" edge list (gzip transparent). Text loading
+// is parallel by default — plain files are memory-mapped and parsed in
+// newline-aligned chunks, ".gz" files pipeline decompression with
+// parsing — and bit-identical to the sequential loader; see
+// LoadOptions.Workers.
 func LoadFile(path string, opts LoadOptions) (*Graph, error) {
 	return temporal.LoadFile(path, opts)
 }
@@ -86,8 +88,56 @@ func ReadEdgeList(r io.Reader, opts LoadOptions) (*Graph, error) {
 	return temporal.ReadEdgeList(r, opts)
 }
 
-// SaveFile writes a graph as an edge list (gzip when the path ends in .gz).
+// SaveFile writes a graph to path: ".hare" (and ".hare.gz") paths save the
+// binary snapshot format, everything else an edge list (gzip when the path
+// ends in .gz).
 func SaveFile(path string, g *Graph) error { return temporal.SaveFile(path, g) }
+
+// Snapshot format errors, re-exported for callers classifying a failed
+// LoadSnapshot/ReadSnapshot with errors.Is. A failed snapshot load always
+// matches one of these or *SnapshotVersionError — never an untyped error —
+// and never yields a partially loaded graph.
+var (
+	// ErrSnapshotMagic: the file does not start with the .hare magic.
+	ErrSnapshotMagic = temporal.ErrSnapshotMagic
+	// ErrSnapshotTruncated: the file ends before the canonical layout does.
+	ErrSnapshotTruncated = temporal.ErrSnapshotTruncated
+	// ErrSnapshotChecksum: a header or section checksum mismatched.
+	ErrSnapshotChecksum = temporal.ErrSnapshotChecksum
+	// ErrSnapshotMalformed: structurally invalid contents (bad section
+	// table, implausible counts, or CSR invariants that do not hold).
+	ErrSnapshotMalformed = temporal.ErrSnapshotMalformed
+)
+
+// SnapshotVersionError reports a snapshot written by a newer format
+// version than this binary supports (match with errors.As; callers
+// typically fall back to a text load — see FileLoader).
+type SnapshotVersionError = temporal.SnapshotVersionError
+
+// SaveSnapshot writes g to path in the versioned binary .hare snapshot
+// format (docs/FORMAT.md): the graph's columnar CSR laid out section by
+// section, little-endian, checksummed, and 8-byte aligned so LoadSnapshot
+// can mmap it back without parsing. Output is deterministic — equal graphs
+// produce bit-identical files.
+func SaveSnapshot(path string, g *Graph) error { return temporal.SaveSnapshot(path, g) }
+
+// LoadSnapshot reads a .hare snapshot into a read-only Graph. On
+// little-endian 64-bit platforms with mmap support the columns alias the
+// file mapping directly — zero-copy, zero-parse, page-cache shared across
+// processes — and the mapping is released when the Graph is garbage
+// collected; elsewhere the columns are read into freshly allocated slices.
+// Every checksum and structural invariant is verified before the Graph is
+// returned: corrupt or truncated files yield a typed error (see
+// ErrSnapshotMagic and friends), never a crash or a silently wrong graph.
+func LoadSnapshot(path string) (*Graph, error) { return temporal.LoadSnapshot(path) }
+
+// WriteSnapshot writes g's snapshot bytes to w (SaveSnapshot's streaming
+// form).
+func WriteSnapshot(w io.Writer, g *Graph) error { return temporal.WriteSnapshot(w, g) }
+
+// ReadSnapshot reads a snapshot from r into an owned (non-mmapped) Graph,
+// with the same total validation as LoadSnapshot.
+func ReadSnapshot(r io.Reader) (*Graph, error) { return temporal.ReadSnapshot(r) }
 
 // ComputeStats returns summary statistics (topK bounds the top-degree list).
 func ComputeStats(g *Graph, topK int) Stats { return temporal.ComputeStats(g, topK) }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -22,7 +24,9 @@ import (
 // cached requests under concurrency); 4 was skipped so that from here on
 // the schema number also names the CI bench artifact (BENCH_<schema>),
 // which CI derives from this field — the workflow never hardcodes it.
-const ReportSchema = 5
+// Schema 6 added the snap_* fields (cold start from a binary .hare
+// snapshot file vs parsing the text edge list).
+const ReportSchema = 6
 
 // DatasetReport holds one dataset's measured numbers. Timings are
 // best-of-Runs wall times; rates derive from them.
@@ -86,6 +90,16 @@ type DatasetReport struct {
 	ServeCachedNsOp    int64   `json:"serve_cached_ns_op"`
 	ServeCachedReqSec  float64 `json:"serve_cached_req_per_sec"`
 	ServeCacheSpeedup  float64 `json:"serve_cache_speedup"`
+
+	// Snap: cold start from the binary .hare snapshot — LoadSnapshot of a
+	// freshly written file (mmap + checksum/structure validation, no
+	// parsing) — against the parallel text parse of the same graph.
+	// SnapSpeedupVsText = load_ns_op / snap_load_ns_op; the snapshot
+	// format targets >= 10x.
+	SnapBytes         int64   `json:"snap_bytes"`
+	SnapLoadNsOp      int64   `json:"snap_load_ns_op"`
+	SnapLoadMBPerSec  float64 `json:"snap_load_mb_per_sec"`
+	SnapSpeedupVsText float64 `json:"snap_speedup_vs_text"`
 }
 
 // Report is the machine-readable benchmark report emitted by
@@ -214,6 +228,15 @@ func JSONReport(opts Options, runs int) (*Report, error) {
 		d.ServeCachedReqSec = sm.CachedReqSec
 		d.ServeCacheSpeedup = sm.Speedup
 
+		d.SnapBytes, d.SnapLoadNsOp, err = measureSnapshotLoad(g, runs)
+		if err != nil {
+			return nil, err
+		}
+		d.SnapLoadMBPerSec = rate(int(d.SnapBytes), d.SnapLoadNsOp) / (1 << 20)
+		if d.SnapLoadNsOp > 0 {
+			d.SnapSpeedupVsText = float64(d.LoadNsOp) / float64(d.SnapLoadNsOp)
+		}
+
 		rep.Datasets = append(rep.Datasets, d)
 	}
 	return rep, nil
@@ -248,6 +271,34 @@ func rate(edges int, nsOp int64) float64 {
 		return 0
 	}
 	return float64(edges) / (float64(nsOp) / 1e9)
+}
+
+// measureSnapshotLoad writes g to a temporary .hare snapshot and times
+// cold LoadSnapshot calls against it (best of runs): the full production
+// path — open, mmap where available, verify every checksum and CSR
+// invariant, alias the columns. The file lives in the OS page cache
+// between runs, matching the serve-restart scenario the snapshot format
+// exists for.
+func measureSnapshotLoad(g *temporal.Graph, runs int) (size, nsOp int64, err error) {
+	dir, err := os.MkdirTemp("", "harebench-snap-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "g.hare")
+	if err := temporal.SaveSnapshot(path, g); err != nil {
+		return 0, 0, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	nsOp = bestOf(runs, func() {
+		if _, err := temporal.LoadSnapshot(path); err != nil {
+			panic(err) // the file was just written by this process
+		}
+	})
+	return fi.Size(), nsOp, nil
 }
 
 // measureLoadAllocs reports whole-load mallocs per edge for one parallel

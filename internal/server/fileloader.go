@@ -1,0 +1,83 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"hare/internal/temporal"
+)
+
+// FileLoader returns a LoadFunc for a graph file, wiring the `.hare`
+// snapshot format into the registry's lazy-load path:
+//
+//   - A text edge-list path first probes the sibling snapshot
+//     "<path>.hare" and loads that instead when present — zero-parse,
+//     mmapped startup — falling back to the text file if the snapshot is
+//     from a newer format version, corrupt, or unreadable. Snapshot
+//     trouble is logged and never fails the dataset: the text file
+//     remains the source of truth.
+//   - A ".hare" (or ".hare.gz") path loads the snapshot directly. If its
+//     format version is newer than this binary supports, the loader logs
+//     and falls back to a text sibling — the path minus its snapshot
+//     suffix, tried bare and with ".txt", ".txt.gz", ".gz" appended — so
+//     a dataset written by a newer haregen still serves. Any other
+//     snapshot error fails the load: corruption in an explicitly
+//     requested snapshot should be loud, not silently papered over.
+//
+// logf receives human-readable progress lines (nil discards them); pass
+// log.Printf from a daemon. opts applies to text parsing only — snapshots
+// fixed their relabeling and edge order when written.
+func FileLoader(path string, opts temporal.LoadOptions, logf func(format string, args ...any)) LoadFunc {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if base, ok := snapshotBase(path); ok {
+		return func() (*temporal.Graph, error) {
+			g, err := temporal.LoadFile(path, opts)
+			var ve *temporal.SnapshotVersionError
+			if !errors.As(err, &ve) {
+				return g, err
+			}
+			for _, cand := range textSiblings(base) {
+				if _, serr := os.Stat(cand); serr != nil {
+					continue
+				}
+				logf("dataset %s: %v; falling back to text load of %s", path, err, cand)
+				return temporal.LoadFile(cand, opts)
+			}
+			return nil, fmt.Errorf("%w (and no text sibling of %s found to fall back to)", err, base)
+		}
+	}
+	return func() (*temporal.Graph, error) {
+		snap := path + ".hare"
+		if _, serr := os.Stat(snap); serr == nil {
+			g, err := temporal.LoadFile(snap, opts)
+			if err == nil {
+				logf("dataset %s: loaded snapshot sibling %s", path, snap)
+				return g, nil
+			}
+			logf("dataset %s: snapshot sibling %s unusable (%v); falling back to text load", path, snap, err)
+		}
+		return temporal.LoadFile(path, opts)
+	}
+}
+
+// snapshotBase reports whether path names a snapshot file and returns the
+// path with the snapshot suffix removed.
+func snapshotBase(path string) (string, bool) {
+	if s := strings.TrimSuffix(path, ".hare"); s != path {
+		return s, true
+	}
+	if s := strings.TrimSuffix(path, ".hare.gz"); s != path {
+		return s, true
+	}
+	return "", false
+}
+
+// textSiblings lists the text-file candidates a versioned-out snapshot
+// falls back to, in probe order.
+func textSiblings(base string) []string {
+	return []string{base, base + ".txt", base + ".txt.gz", base + ".gz"}
+}

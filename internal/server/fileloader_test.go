@@ -1,0 +1,195 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hare/internal/temporal"
+)
+
+// fileLoaderGraph returns a small graph plus a second, distinguishable one
+// so tests can tell which file a loader actually read.
+func fileLoaderGraphs(t *testing.T) (text, snap *temporal.Graph) {
+	t.Helper()
+	text = temporal.FromEdges([]temporal.Edge{
+		{From: 0, To: 1, Time: 10}, {From: 1, To: 2, Time: 20},
+	})
+	snap = temporal.FromEdges([]temporal.Edge{
+		{From: 0, To: 1, Time: 10}, {From: 1, To: 2, Time: 20}, {From: 2, To: 0, Time: 30},
+	})
+	return text, snap
+}
+
+// futureSnapshot writes g as a snapshot at path, then bumps the format
+// version field so decoding yields a *temporal.SnapshotVersionError.
+func futureSnapshot(t *testing.T, path string, g *temporal.Graph) {
+	t.Helper()
+	if err := temporal.SaveSnapshot(path, g); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(data[8:12], temporal.SnapshotVersion+1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileLoaderTextPath(t *testing.T) {
+	textG, snapG := fileLoaderGraphs(t)
+	dir := t.TempDir()
+	text := filepath.Join(dir, "edges.txt")
+	if err := temporal.SaveFile(text, textG); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("no sibling", func(t *testing.T) {
+		g, err := FileLoader(text, temporal.LoadOptions{}, t.Logf)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumEdges() != textG.NumEdges() {
+			t.Fatalf("got %d edges, want %d (text)", g.NumEdges(), textG.NumEdges())
+		}
+	})
+
+	t.Run("prefers snapshot sibling", func(t *testing.T) {
+		if err := temporal.SaveSnapshot(text+".hare", snapG); err != nil {
+			t.Fatal(err)
+		}
+		defer os.Remove(text + ".hare")
+		var logs []string
+		logf := func(f string, a ...any) { logs = append(logs, fmt.Sprintf(f, a...)) }
+		g, err := FileLoader(text, temporal.LoadOptions{}, logf)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumEdges() != snapG.NumEdges() {
+			t.Fatalf("got %d edges, want %d (snapshot sibling)", g.NumEdges(), snapG.NumEdges())
+		}
+		if len(logs) != 1 || !strings.Contains(logs[0], "snapshot sibling") {
+			t.Fatalf("want one sibling log line, got %q", logs)
+		}
+	})
+
+	t.Run("corrupt sibling falls back to text", func(t *testing.T) {
+		if err := os.WriteFile(text+".hare", []byte("not a snapshot"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		defer os.Remove(text + ".hare")
+		var logs []string
+		logf := func(f string, a ...any) { logs = append(logs, fmt.Sprintf(f, a...)) }
+		g, err := FileLoader(text, temporal.LoadOptions{}, logf)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumEdges() != textG.NumEdges() {
+			t.Fatalf("got %d edges, want %d (text fallback)", g.NumEdges(), textG.NumEdges())
+		}
+		if len(logs) != 1 || !strings.Contains(logs[0], "unusable") {
+			t.Fatalf("want one fallback log line, got %q", logs)
+		}
+	})
+}
+
+func TestFileLoaderSnapshotPath(t *testing.T) {
+	textG, snapG := fileLoaderGraphs(t)
+
+	t.Run("valid", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "g.hare")
+		if err := temporal.SaveSnapshot(path, snapG); err != nil {
+			t.Fatal(err)
+		}
+		g, err := FileLoader(path, temporal.LoadOptions{}, nil)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumEdges() != snapG.NumEdges() {
+			t.Fatalf("got %d edges, want %d", g.NumEdges(), snapG.NumEdges())
+		}
+	})
+
+	t.Run("future version falls back to text sibling", func(t *testing.T) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "g.txt.hare")
+		futureSnapshot(t, path, snapG)
+		if err := temporal.SaveFile(filepath.Join(dir, "g.txt"), textG); err != nil {
+			t.Fatal(err)
+		}
+		var logs []string
+		logf := func(f string, a ...any) { logs = append(logs, fmt.Sprintf(f, a...)) }
+		g, err := FileLoader(path, temporal.LoadOptions{}, logf)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumEdges() != textG.NumEdges() {
+			t.Fatalf("got %d edges, want %d (text fallback)", g.NumEdges(), textG.NumEdges())
+		}
+		if len(logs) != 1 || !strings.Contains(logs[0], "falling back to text load") {
+			t.Fatalf("want one fallback log line, got %q", logs)
+		}
+	})
+
+	t.Run("future version without sibling fails typed", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "g.hare")
+		futureSnapshot(t, path, snapG)
+		_, err := FileLoader(path, temporal.LoadOptions{}, nil)()
+		var ve *temporal.SnapshotVersionError
+		if !errors.As(err, &ve) {
+			t.Fatalf("want *SnapshotVersionError, got %v", err)
+		}
+		if ve.Version != temporal.SnapshotVersion+1 {
+			t.Fatalf("version = %d, want %d", ve.Version, temporal.SnapshotVersion+1)
+		}
+	})
+
+	t.Run("corruption is loud", func(t *testing.T) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "g.txt.hare")
+		if err := temporal.SaveSnapshot(path, snapG); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-1] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// A text sibling exists, but corruption must NOT fall back to it.
+		if err := temporal.SaveFile(filepath.Join(dir, "g.txt"), textG); err != nil {
+			t.Fatal(err)
+		}
+		_, err = FileLoader(path, temporal.LoadOptions{}, nil)()
+		if !errors.Is(err, temporal.ErrSnapshotChecksum) && !errors.Is(err, temporal.ErrSnapshotMalformed) {
+			t.Fatalf("want a typed corruption error, got %v", err)
+		}
+	})
+}
+
+func TestFileLoaderInRegistry(t *testing.T) {
+	_, snapG := fileLoaderGraphs(t)
+	path := filepath.Join(t.TempDir(), "g.hare")
+	if err := temporal.SaveSnapshot(path, snapG); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(0)
+	if err := r.Register("snap", "snapshot "+path, FileLoader(path, temporal.LoadOptions{}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := r.Get("snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != snapG.NumEdges() {
+		t.Fatalf("got %d edges, want %d", g.NumEdges(), snapG.NumEdges())
+	}
+}

@@ -1,6 +1,9 @@
 package temporal
 
 import (
+	"bytes"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -59,6 +62,76 @@ func FuzzParseEdgeLine(f *testing.F) {
 		}
 		if e2 != e {
 			t.Fatalf("round trip changed %q: %+v -> %+v", line, e, e2)
+		}
+	})
+}
+
+// FuzzSnapshot feeds arbitrary bytes to the .hare snapshot decoder.
+// Invariants (the tentpole's correctness bar — a snapshot load must never
+// crash or silently mis-load, whatever is on disk):
+//
+//   - never panics, on either the copying or the borrowing decode path;
+//   - failure is always one of the typed sentinel errors (or a
+//     *SnapshotVersionError), so callers can classify it;
+//   - the borrow and copy paths agree on accept/reject;
+//   - an accepted input is exactly canonical: re-encoding the decoded
+//     Graph with WriteSnapshot reproduces the input bytes bit for bit.
+func FuzzSnapshot(f *testing.F) {
+	for name, g := range snapshotTestGraphs(f) {
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, g); err != nil {
+			f.Fatalf("seed %s: %v", name, err)
+		}
+		data := buf.Bytes()
+		f.Add(append([]byte(nil), data...))
+		// Damaged variants seed the interesting error paths directly.
+		f.Add(data[:len(data)-1])                            // truncated payload
+		f.Add(append([]byte(nil), data...)[:snapHeaderSize]) // header only
+		flip := append([]byte(nil), data...)
+		flip[len(flip)/2] ^= 0x40
+		f.Add(flip) // checksum mismatch
+		ver := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint32(ver[8:], SnapshotVersion+1)
+		f.Add(ver) // future version
+	}
+	f.Add([]byte{})
+	f.Add([]byte(SnapshotMagic))
+	f.Add([]byte("1 2 3\n4 5 6\n")) // an edge list is not a snapshot
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := decodeSnapshot(data, false, nil)
+		if err != nil {
+			var ve *SnapshotVersionError
+			if !errors.Is(err, ErrSnapshotMagic) && !errors.Is(err, ErrSnapshotTruncated) &&
+				!errors.Is(err, ErrSnapshotChecksum) && !errors.Is(err, ErrSnapshotMalformed) &&
+				!errors.As(err, &ve) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+		}
+		if canBorrowSnapshot() {
+			bg, berr := decodeSnapshot(data, true, nil)
+			if (err == nil) != (berr == nil) {
+				t.Fatalf("borrow/copy disagree: copy err=%v, borrow err=%v", err, berr)
+			}
+			if berr == nil {
+				var a, b bytes.Buffer
+				if e1, e2 := WriteSnapshot(&a, g), WriteSnapshot(&b, bg); e1 != nil || e2 != nil {
+					t.Fatalf("re-encode: %v / %v", e1, e2)
+				}
+				if !bytes.Equal(a.Bytes(), b.Bytes()) {
+					t.Fatal("borrow and copy decoded different graphs")
+				}
+			}
+		}
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteSnapshot(&out, g); err != nil {
+			t.Fatalf("re-encode accepted input: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("accepted input is not canonical: %d bytes in, %d bytes out", len(data), out.Len())
 		}
 	})
 }

@@ -246,6 +246,15 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("temporal: edges out of order at id %d", i)
 		}
 	}
+	for i := 0; i < m; i++ {
+		// The Builder guarantees endpoint range, but a Graph decoded from
+		// an untrusted snapshot does not: counting kernels index per-node
+		// scratch by these IDs, so out-of-range endpoints must be caught
+		// here, not by a downstream panic.
+		if g.src[i] < 0 || int(g.src[i]) >= g.numNodes || g.dst[i] < 0 || int(g.dst[i]) >= g.numNodes {
+			return fmt.Errorf("temporal: edge %d endpoints (%d,%d) out of range [0,%d)", i, g.src[i], g.dst[i], g.numNodes)
+		}
+	}
 	h := 2 * m
 	if len(g.incID) != h || len(g.incTime) != h || len(g.incOther) != h || len(g.incOut) != h {
 		return fmt.Errorf("temporal: ragged incident columns for %d edges", m)
@@ -255,8 +264,11 @@ func (g *Graph) Validate() error {
 	}
 	for u := 0; u < g.numNodes; u++ {
 		lo, hi := g.incOff[u], g.incOff[u+1]
-		if lo > hi {
-			return fmt.Errorf("temporal: incident offsets decrease at node %d", u)
+		if lo > hi || hi > h {
+			// hi is bounded before it is used to index: the end anchor
+			// above only constrains the last offset, so an intermediate
+			// value beyond h would otherwise walk j out of the columns.
+			return fmt.Errorf("temporal: incident offsets malformed at node %d", u)
 		}
 		for j := lo; j < hi; j++ {
 			if j > lo && g.incID[j] <= g.incID[j-1] {
@@ -280,6 +292,12 @@ func (g *Graph) Validate() error {
 	if len(g.nbrOff) != g.numNodes+1 || len(g.grpOff) != len(g.nbrKey)+1 {
 		return fmt.Errorf("temporal: malformed neighbor index offsets")
 	}
+	if g.nbrOff[0] != 0 || g.nbrOff[g.numNodes] != len(g.nbrKey) {
+		// Anchoring both ends (with the per-node lo <= hi checks below)
+		// keeps every nbrOff value inside [0, len(nbrKey)] — required
+		// before nbrKey/grpOff are indexed, e.g. on untrusted snapshots.
+		return fmt.Errorf("temporal: neighbor offsets do not span the key column")
+	}
 	if len(g.grpID) != h || g.grpOff[len(g.nbrKey)] != h {
 		return fmt.Errorf("temporal: grouped columns do not cover the half-edges")
 	}
@@ -299,8 +317,9 @@ func (g *Graph) Validate() error {
 				return fmt.Errorf("temporal: neighbor keys of node %d out of order", u)
 			}
 			a, b := g.grpOff[i], g.grpOff[i+1]
-			if a >= b {
-				return fmt.Errorf("temporal: empty group for nodes (%d,%d)", u, g.nbrKey[i])
+			if a >= b || b > h {
+				// b > h guards the j indexing below, as for incOff above.
+				return fmt.Errorf("temporal: malformed group for nodes (%d,%d)", u, g.nbrKey[i])
 			}
 			for j := a; j < b; j++ {
 				if g.grpOther[j] != g.nbrKey[i] {

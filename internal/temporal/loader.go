@@ -134,17 +134,34 @@ func relabelID(m map[int64]NodeID, raw int64, next NodeID) (NodeID, NodeID) {
 	return next, next + 1
 }
 
-// LoadFile reads an edge-list file, transparently decompressing ".gz"
-// paths. With parallel loading enabled (LoadOptions.Workers), plain files
+// LoadFile reads a graph file, dispatching on the extension: ".hare"
+// paths load as binary snapshots (see LoadSnapshot — mmapped, zero-parse;
+// ".hare.gz" decompresses through the portable snapshot reader), anything
+// else parses as an edge-list text file, transparently decompressing ".gz"
+// paths. Snapshot loads ignore the parse-oriented LoadOptions — relabeling
+// and ordering were fixed when the snapshot was written.
+//
+// With parallel loading enabled (LoadOptions.Workers), plain text files
 // are memory-mapped (read wholesale when mapping is unavailable) and
 // chunked in place, while ".gz" files pipeline decompression with parsing:
 // the producer goroutine inflates while the workers parse.
 func LoadFile(path string, opts LoadOptions) (*Graph, error) {
+	if strings.HasSuffix(path, ".hare") {
+		return LoadSnapshot(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	if strings.HasSuffix(path, ".hare.gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("temporal: gzip %s: %v", path, err)
+		}
+		defer zr.Close()
+		return ReadSnapshot(zr)
+	}
 	if strings.HasSuffix(path, ".gz") {
 		zr, err := gzip.NewReader(f)
 		if err != nil {
@@ -183,16 +200,25 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// SaveFile writes the graph to path as an edge list, gzip-compressed when
-// the path ends in ".gz". The file's Close error is propagated — on many
-// filesystems a full disk or a flush failure only surfaces there, and
-// swallowing it would report a truncated file as saved.
+// SaveFile writes the graph to path, dispatching on the extension like
+// LoadFile: ".hare" (and ".hare.gz") paths save the binary snapshot
+// format, anything else an edge list, gzip-compressed when the path ends
+// in ".gz". The file's Close error is propagated — on many filesystems a
+// full disk or a flush failure only surfaces there, and swallowing it
+// would report a truncated file as saved.
 func SaveFile(path string, g *Graph) error {
+	if strings.HasSuffix(path, ".hare") {
+		return SaveSnapshot(path, g)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	werr := writeEdgeListTo(f, g, strings.HasSuffix(path, ".gz"))
+	write := WriteEdgeList
+	if strings.HasSuffix(path, ".hare.gz") {
+		write = WriteSnapshot
+	}
+	werr := writeGraphTo(f, g, write, strings.HasSuffix(path, ".gz"))
 	cerr := f.Close()
 	if werr != nil {
 		return werr
@@ -200,12 +226,12 @@ func SaveFile(path string, g *Graph) error {
 	return cerr
 }
 
-func writeEdgeListTo(f *os.File, g *Graph, gz bool) error {
+func writeGraphTo(f *os.File, g *Graph, write func(io.Writer, *Graph) error, gz bool) error {
 	if !gz {
-		return WriteEdgeList(f, g)
+		return write(f, g)
 	}
 	zw := gzip.NewWriter(f)
-	if err := WriteEdgeList(zw, g); err != nil {
+	if err := write(zw, g); err != nil {
 		zw.Close()
 		return err
 	}

@@ -46,6 +46,18 @@ const (
 // DatasetInfo describes one registered dataset, as listed by /v1/datasets.
 type DatasetInfo = server.DatasetInfo
 
+// FileLoader returns a dataset loader for Server.Register that wires
+// .hare snapshots into the registry: a text path prefers a "<path>.hare"
+// sibling snapshot when present (falling back to the text file, logged,
+// if the snapshot is corrupt or from a newer format version), and a
+// ".hare" path loads the snapshot directly, falling back to a text
+// sibling only when the snapshot's format version is newer than this
+// binary supports. logf (nil to discard) receives the fallback log lines;
+// opts applies to text parsing only.
+func FileLoader(path string, opts LoadOptions, logf func(format string, args ...any)) func() (*Graph, error) {
+	return server.FileLoader(path, opts, logf)
+}
+
 // NewServer returns a query service counting with this package's public
 // APIs. Datasets are registered afterwards via Register/RegisterGraph.
 func NewServer(opts ServerOptions) (*Server, error) {
