@@ -11,6 +11,15 @@
 //	hared -listen :8315 -gen collegemsg:0.2 -gen wikitalk:0.05
 //	hared -version
 //
+// Scale-out (docs/SHARDING.md): workers expose the shard wire protocol
+// next to the public API; a coordinator scatters each query across its
+// -peers and gathers the exact single-node answer:
+//
+//	hared -role worker -listen :8316 -gen wikitalk:0.05
+//	hared -role worker -listen :8317 -gen wikitalk:0.05
+//	hared -role coordinator -listen :8315 -gen wikitalk:0.05 \
+//	      -peers localhost:8316,localhost:8317
+//
 // Dataset files may be text edge lists (".gz" transparent) or binary
 // `.hare` snapshots (see docs/FORMAT.md) which load without parsing; a
 // text path automatically prefers a "<path>.hare" sibling snapshot when
@@ -32,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,6 +53,7 @@ import (
 	"hare"
 	"hare/internal/buildinfo"
 	"hare/internal/gen"
+	"hare/internal/shard"
 )
 
 // repeatable collects every occurrence of a repeatable string flag.
@@ -63,6 +74,13 @@ func main() {
 		loadW     = flag.Int("load-workers", 0, "parallel ingestion workers per dataset load (0 = all CPUs)")
 		preload   = flag.Bool("preload", false, "load every dataset at startup instead of on first request")
 		version   = flag.Bool("version", false, "print version and exit")
+
+		role         = flag.String("role", "single", `cluster role: "single", "coordinator" or "worker" (docs/SHARDING.md)`)
+		peers        = flag.String("peers", "", "comma-separated worker base URLs (coordinator only)")
+		shardTimeout = flag.Duration("shard-timeout", 30*time.Second, "per-attempt timeout for one shard sub-request (coordinator only)")
+		shardRetries = flag.Int("shard-retries", 2, "retries per failed shard sub-request, rotating peers (coordinator only)")
+		shardBackoff = flag.Duration("shard-backoff", 50*time.Millisecond, "initial retry backoff, doubling per attempt (coordinator only)")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "duplicate a straggling shard onto the next peer after this delay, 0 = off (coordinator only)")
 	)
 	flag.Var(&dataFlags, "data", "dataset as name=path (edge list, .gz, or .hare snapshot; repeatable)")
 	flag.Var(&genFlags, "gen", "synthetic dataset as name[:scale] from the built-in suite (repeatable)")
@@ -83,13 +101,44 @@ func main() {
 	if *maxGraphs < 0 {
 		usageErr("-max-graphs must be >= 0 (got %d; 0 = unbounded)", *maxGraphs)
 	}
+	if *role != "single" && *role != "coordinator" && *role != "worker" {
+		usageErr(`-role must be "single", "coordinator" or "worker" (got %q)`, *role)
+	}
+	if (*peers != "") != (*role == "coordinator") {
+		usageErr("-peers is required for -role coordinator and meaningless otherwise")
+	}
+	if *shardRetries < 0 {
+		usageErr("-shard-retries must be >= 0 (got %d)", *shardRetries)
+	}
 
-	srv, err := hare.NewServer(hare.ServerOptions{
+	opts := hare.ServerOptions{
 		CacheSize:       *cacheSize,
 		WorkerBudget:    *budget,
 		MaxLoadedGraphs: *maxGraphs,
 		Version:         buildinfo.Version(),
-	})
+		Role:            *role,
+	}
+	// The coordinator swaps the in-process counting backend for the
+	// scatter/gather client; caching and admission stay on this side.
+	var shardClient *shard.Client
+	if *role == "coordinator" {
+		pol := shard.Policy{
+			Timeout:    *shardTimeout,
+			Retries:    *shardRetries,
+			Backoff:    *shardBackoff,
+			HedgeAfter: *hedgeAfter,
+		}
+		if *shardRetries == 0 {
+			pol.Retries = -1 // Policy treats 0 as "default"; the flag means none
+		}
+		var err error
+		shardClient, err = shard.NewClient(strings.Split(*peers, ","), pol, nil)
+		if err != nil {
+			usageErr("-peers: %v", err)
+		}
+		opts.Backend = shard.NewCoordinator(shardClient)
+	}
+	srv, err := hare.NewServer(opts)
 	if err != nil {
 		log.Fatalf("hared: %v", err)
 	}
@@ -105,8 +154,9 @@ func main() {
 		}
 		// FileLoader prefers a "<path>.hare" sibling snapshot (mmapped,
 		// zero-parse) when one exists, and falls back to text — logged —
-		// when a snapshot is corrupt or from a newer format version.
-		if err := srv.Register(name, "graph file "+path, hare.FileLoader(path, loadOpts, log.Printf)); err != nil {
+		// when a snapshot is corrupt or from a newer format version. The
+		// sourced registration surfaces which branch won via /v1/datasets.
+		if err := srv.RegisterSourced(name, "graph file "+path, hare.FileLoader(path, loadOpts, log.Printf)); err != nil {
 			usageErr("%v", err)
 		}
 		names = append(names, name)
@@ -117,8 +167,8 @@ func main() {
 			usageErr("-gen %s: %v", spec, err)
 		}
 		c := cfg
-		if err := srv.Register(name, fmt.Sprintf("synthetic %s (%d nodes, %d edges)", cfg.Name, cfg.Nodes, cfg.Edges),
-			func() (*hare.Graph, error) { return gen.Generate(c) }); err != nil {
+		if err := srv.RegisterSourced(name, fmt.Sprintf("synthetic %s (%d nodes, %d edges)", cfg.Name, cfg.Nodes, cfg.Edges),
+			func() (*hare.Graph, string, error) { g, err := gen.Generate(c); return g, "synthetic", err }); err != nil {
 			usageErr("%v", err)
 		}
 		names = append(names, name)
@@ -134,15 +184,44 @@ func main() {
 		}
 	}
 
+	handler := srv.Handler()
+	switch *role {
+	case "worker":
+		// A worker serves the shard wire protocol next to the public API,
+		// counting with the same in-process backend a single node uses.
+		w := &shard.Worker{Graphs: srv, Backend: hare.LocalBackend(), Version: buildinfo.Version()}
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.Handle(shard.PathCompute, w.Handler())
+		mux.Handle(shard.PathInfo, w.Handler())
+		handler = mux
+	case "coordinator":
+		// Append the scatter-side shard metrics to the service /metrics
+		// page so one scrape covers both layers.
+		inner := handler
+		mux := http.NewServeMux()
+		mux.Handle("/", inner)
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			inner.ServeHTTP(w, r)
+			shardClient.Metrics().Write(w)
+		})
+		handler = mux
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("hared: %v", err)
+	}
 	hs := &http.Server{
-		Addr:              *listen,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {
-		log.Printf("hared %s listening on %s with %d dataset(s): %s",
-			buildinfo.Version(), *listen, len(names), strings.Join(names, ", "))
-		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		// The resolved address matters when -listen used port 0 (tests,
+		// supervisors): it is the only place the real port appears.
+		log.Printf("hared %s (%s) listening on %s with %d dataset(s): %s",
+			buildinfo.Version(), *role, ln.Addr(), len(names), strings.Join(names, ", "))
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("hared: %v", err)
 		}
 	}()

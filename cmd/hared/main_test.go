@@ -1,0 +1,197 @@
+package main
+
+// Multi-process cluster e2e: builds the real hared binary, boots two
+// -role worker processes and a -role coordinator on ephemeral ports
+// (port 0, discovered from the startup log line), and diffs every /v1
+// endpoint against a single-node process over the same deterministic
+// synthetic dataset. This is the process-level companion to the
+// in-process cluster test in internal/shard — it additionally covers
+// flag parsing, the worker mux, the coordinator /metrics merge and
+// real TCP between processes. Skipped under -short; the CI race job
+// runs it with a race-built binary.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+const e2eDataset = "collegemsg:0.03"
+
+// buildHared compiles the daemon once per test binary into a temp dir,
+// with the race detector when the test itself runs under -race.
+func buildHared(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hared")
+	args := []string{"build"}
+	if raceEnabled {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", bin, ".")
+	cmd := exec.Command("go", args...)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+var listenRE = regexp.MustCompile(`listening on ([^ ]+) with`)
+
+// startHared launches one hared process and waits for its startup log
+// line, returning the base URL of the resolved ephemeral address.
+func startHared(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-listen", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := listenRE.FindStringSubmatch(sc.Text()); m != nil {
+				addrCh <- m[1]
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("hared %v never logged its listen address", args)
+		return ""
+	}
+}
+
+// getNormalized fetches one query and strips elapsed_ms, the only
+// legitimately nondeterministic response field.
+func getNormalized(t *testing.T, base, path string) string {
+	t.Helper()
+	var lastErr error
+	for i := 0; i < 50; i++ { // the process may still be binding handlers
+		resp, err := http.Get(base + path)
+		if err != nil {
+			lastErr = err
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, data)
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		delete(m, "elapsed_ms")
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	t.Fatalf("GET %s never succeeded: %v", path, lastErr)
+	return ""
+}
+
+// TestMultiProcessCluster is the ISSUE acceptance run at process level:
+// a real 2-worker cluster answers byte-identically to a single node.
+func TestMultiProcessCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped under -short")
+	}
+	bin := buildHared(t)
+	gen := "-gen"
+	single := startHared(t, bin, gen, e2eDataset)
+	w1 := startHared(t, bin, "-role", "worker", gen, e2eDataset)
+	w2 := startHared(t, bin, "-role", "worker", gen, e2eDataset)
+	peers := strings.TrimPrefix(w1, "http://") + "," + strings.TrimPrefix(w2, "http://")
+	coord := startHared(t, bin, "-role", "coordinator", "-peers", peers, gen, e2eDataset)
+
+	queries := []string{
+		fmt.Sprintf("/v1/count?dataset=%s&delta=600", e2eDataset),
+		fmt.Sprintf("/v1/count?dataset=%s&delta=600&motif=M26", e2eDataset),
+		fmt.Sprintf("/v1/star4?dataset=%s&delta=600", e2eDataset),
+		fmt.Sprintf("/v1/path4?dataset=%s&delta=600", e2eDataset),
+		fmt.Sprintf("/v1/sig?dataset=%s&delta=600&samples=5&seed=3", e2eDataset),
+	}
+	for _, q := range queries {
+		want := getNormalized(t, single, q)
+		if got := getNormalized(t, coord, q); got != want {
+			t.Errorf("%s: cluster diverges from single node\n got %s\nwant %s", q, got, want)
+		}
+	}
+
+	// Role reporting and the merged metrics page: the coordinator scrape
+	// must include the scatter-layer counters next to the service ones.
+	var health struct {
+		Role string `json:"role"`
+	}
+	resp, err := http.Get(coord + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Role != "coordinator" {
+		t.Errorf("/healthz role = %q, want coordinator", health.Role)
+	}
+	mresp, err := http.Get(coord + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"hared_requests_total", "hared_shard_requests_total"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("coordinator /metrics missing %s:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestRoleFlagValidation rejects nonsense role/peers combinations fast,
+// before any graph loads.
+func TestRoleFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped under -short")
+	}
+	bin := buildHared(t)
+	cases := [][]string{
+		{"-role", "boss", "-gen", e2eDataset},
+		{"-role", "coordinator", "-gen", e2eDataset},             // no -peers
+		{"-role", "worker", "-peers", "x:1", "-gen", e2eDataset}, // peers without coordinator
+		{"-role", "coordinator", "-peers", "://bad url", "-gen", e2eDataset},
+	}
+	for _, args := range cases {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+			t.Errorf("hared %v: want exit 2, got %v\n%s", args, err, out)
+		}
+	}
+}

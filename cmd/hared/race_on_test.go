@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled makes the e2e build the child hared binary with the race
+// detector whenever the test binary itself runs under -race, so the CI
+// race job exercises the whole cluster race-instrumented.
+const raceEnabled = true

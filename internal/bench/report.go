@@ -25,8 +25,10 @@ import (
 // the schema number also names the CI bench artifact (BENCH_<schema>),
 // which CI derives from this field — the workflow never hardcodes it.
 // Schema 6 added the snap_* fields (cold start from a binary .hare
-// snapshot file vs parsing the text edge list).
-const ReportSchema = 6
+// snapshot file vs parsing the text edge list). Schema 7 added the
+// shard_* fields (scatter/gather /v1/star4 latency through 1/2/4
+// single-threaded shard workers over loopback HTTP, docs/SHARDING.md).
+const ReportSchema = 7
 
 // DatasetReport holds one dataset's measured numbers. Timings are
 // best-of-Runs wall times; rates derive from them.
@@ -100,6 +102,17 @@ type DatasetReport struct {
 	SnapLoadNsOp      int64   `json:"snap_load_ns_op"`
 	SnapLoadMBPerSec  float64 `json:"snap_load_mb_per_sec"`
 	SnapSpeedupVsText float64 `json:"snap_speedup_vs_text"`
+
+	// Shard: the scatter/gather tier's horizontal scaling — /v1/star4
+	// computed through in-process clusters of 1, 2 and 4 shard workers on
+	// loopback HTTP, every sub-request pinned to one counting thread so
+	// only the worker count varies. ShardStar4Speedup2 = 1w/2w latency;
+	// the wire protocol targets >= 1.7x at 2 workers (docs/SHARDING.md).
+	ShardStar4NsOp1    int64   `json:"shard_star4_1w_ns_op"`
+	ShardStar4NsOp2    int64   `json:"shard_star4_2w_ns_op"`
+	ShardStar4NsOp4    int64   `json:"shard_star4_4w_ns_op"`
+	ShardStar4Speedup2 float64 `json:"shard_star4_speedup_2w"`
+	ShardStar4Speedup4 float64 `json:"shard_star4_speedup_4w"`
 }
 
 // Report is the machine-readable benchmark report emitted by
@@ -236,6 +249,16 @@ func JSONReport(opts Options, runs int) (*Report, error) {
 		if d.SnapLoadNsOp > 0 {
 			d.SnapSpeedupVsText = float64(d.LoadNsOp) / float64(d.SnapLoadNsOp)
 		}
+
+		shm, err := measureShard(name, g, delta, runs)
+		if err != nil {
+			return nil, err
+		}
+		d.ShardStar4NsOp1 = shm.Star4NsOp1
+		d.ShardStar4NsOp2 = shm.Star4NsOp2
+		d.ShardStar4NsOp4 = shm.Star4NsOp4
+		d.ShardStar4Speedup2 = shm.Speedup2
+		d.ShardStar4Speedup4 = shm.Speedup4
 
 		rep.Datasets = append(rep.Datasets, d)
 	}

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+
+	"hare"
+	"hare/internal/server"
+	"hare/internal/shard"
+	"hare/internal/temporal"
+)
+
+// shardMeasurement is one dataset's scatter/gather scaling profile:
+// /v1/star4 throughput through in-process clusters of 1, 2 and 4 workers,
+// each worker pinned to a single counting thread (Workers=1 sub-requests)
+// so the horizontal axis — not intra-process parallelism — is what the
+// speedup measures. The workers are real HTTP servers on loopback
+// sockets, so the numbers include the wire protocol's JSON and transport
+// costs, exactly what a deployed cluster pays. Throughput is measured
+// with a pipelined volley (several queries in flight) because that is the
+// regime scale-out exists for: a loaded coordinator, where per-query wire
+// overhead overlaps the counting and the fleet's aggregate compute
+// bandwidth is the limit.
+type shardMeasurement struct {
+	Star4NsOp1 int64
+	Star4NsOp2 int64
+	Star4NsOp4 int64
+	Speedup2   float64
+	Speedup4   float64
+}
+
+// bootShardCluster starts n single-threaded shard workers over g and
+// returns a coordinator backend scattering across them. Each worker's
+// compute handler is serialized behind its own mutex, emulating a
+// single-core remote machine: the in-process stand-ins all share this
+// host's CPUs, so without the serialization a "1-worker cluster" would
+// happily run sub-requests of concurrent queries in parallel and the
+// cluster-size axis would measure nothing. With it, the measured speedup
+// is min(workers, cores) scaling — the same thing adding machines buys.
+func bootShardCluster(name string, g *temporal.Graph, n int) (*shard.Coordinator, func(), error) {
+	var servers []*httptest.Server
+	closeAll := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	peers := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv, err := hare.NewServer(hare.ServerOptions{Role: "worker", WorkerBudget: 1})
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		if err := srv.RegisterGraph(name, "bench", g); err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		w := &shard.Worker{Graphs: srv, Backend: hare.LocalBackend(), Version: "bench"}
+		h := w.Handler()
+		var core sync.Mutex
+		serial := http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			core.Lock()
+			defer core.Unlock()
+			h.ServeHTTP(rw, r)
+		})
+		mux := http.NewServeMux()
+		mux.Handle(shard.PathCompute, serial)
+		mux.Handle(shard.PathInfo, h)
+		hs := httptest.NewServer(mux)
+		servers = append(servers, hs)
+		peers[i] = hs.URL
+	}
+	client, err := shard.NewClient(peers, shard.Policy{}, nil)
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	return shard.NewCoordinator(client), closeAll, nil
+}
+
+// measureShard drives a volley of star4 queries through 1-, 2- and
+// 4-worker clusters (best of runs each) and cross-checks that every
+// cluster size produced the identical counter — a wrong merge must fail
+// the bench, not publish a fast wrong number. The reported ns/op is
+// volley wall time divided by query count, so its inverse is the
+// cluster's sustained queries-per-second.
+func measureShard(name string, g *temporal.Graph, delta temporal.Timestamp, runs int) (shardMeasurement, error) {
+	var m shardMeasurement
+	req := server.Request{Kind: server.KindStar4, Dataset: name, Delta: int64(delta), Workers: 1}
+	ctx := context.Background()
+	const queries = 24
+
+	var reference interface{}
+	for _, n := range []int{1, 2, 4} {
+		co, closeAll, err := bootShardCluster(name, g, n)
+		if err != nil {
+			return shardMeasurement{}, err
+		}
+		got, err := co.Star4(ctx, g, req) // warm up registries, verify once
+		if err != nil {
+			closeAll()
+			return shardMeasurement{}, fmt.Errorf("shard bench (%d workers): %w", n, err)
+		}
+		if reference == nil {
+			reference = got
+		} else if got != reference {
+			closeAll()
+			return shardMeasurement{}, fmt.Errorf("shard bench: %d-worker counter diverges from 1-worker", n)
+		}
+		// Enough clients in flight to keep every worker busy; any scatter
+		// error surfaces after the volley.
+		clients := n + 2
+		var failed atomic.Value
+		volley := func() {
+			var wg sync.WaitGroup
+			next := atomic.Int64{}
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for int(next.Add(1)) <= queries {
+						if _, err := co.Star4(ctx, g, req); err != nil {
+							failed.Store(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		ns := bestOf(runs, volley) / queries
+		closeAll()
+		if err, ok := failed.Load().(error); ok {
+			return shardMeasurement{}, fmt.Errorf("shard bench (%d workers): %w", n, err)
+		}
+		switch n {
+		case 1:
+			m.Star4NsOp1 = ns
+		case 2:
+			m.Star4NsOp2 = ns
+		case 4:
+			m.Star4NsOp4 = ns
+		}
+	}
+	if m.Star4NsOp2 > 0 {
+		m.Speedup2 = float64(m.Star4NsOp1) / float64(m.Star4NsOp2)
+	}
+	if m.Star4NsOp4 > 0 {
+		m.Speedup4 = float64(m.Star4NsOp1) / float64(m.Star4NsOp4)
+	}
+	return m, nil
+}

@@ -59,13 +59,38 @@ func effThrd(g *temporal.Graph, opts Options) int {
 // partials merge. Counts are bit-identical to the sequential Count at any
 // worker count (per-center tallies are exact integer sums).
 func CountStar4(g *temporal.Graph, delta temporal.Timestamp, opts Options) Star4Counter {
+	return CountStar4Range(g, delta, opts, 0, g.NumNodes())
+}
+
+// CountStar4Range counts the 4-node stars whose center node lies in the
+// half-open ID range [lo, hi) (clamped to [0, NumNodes)). Every 4-node star
+// has a unique center, so any partition of the node IDs yields partial
+// counters that sum — in any order, the cells are exact uint64 tallies — to
+// CountStar4's full counter: the per-shard work unit of the scatter/gather
+// serving path (internal/shard).
+func CountStar4Range(g *temporal.Graph, delta temporal.Timestamp, opts Options, lo, hi int) Star4Counter {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > g.NumNodes() {
+		hi = g.NumNodes()
+	}
+	var total Star4Counter
+	if lo >= hi {
+		return total
+	}
 	workers := opts.workers()
 	if workers == 1 {
-		return Count(g, delta)
+		scratch := fast.NewScratch()
+		for u := lo; u < hi; u++ {
+			s4, _ := CountNode(g, temporal.NodeID(u), delta, scratch)
+			total.Add(&s4)
+		}
+		return total
 	}
 	thrd := effThrd(g, opts)
 	var light, heavy []temporal.NodeID
-	for u := 0; u < g.NumNodes(); u++ {
+	for u := lo; u < hi; u++ {
 		d := g.Degree(temporal.NodeID(u))
 		if d < 3 {
 			continue // a 4-node star needs three incident edges
@@ -84,13 +109,12 @@ func CountStar4(g *temporal.Graph, delta temporal.Timestamp, opts Options) Star4
 	}
 
 	// Stage 1: inter-center parallelism over light centers.
-	engine.Dispatch(workers, opts.chunk(), len(light), func(w, lo, hi int) {
-		for _, u := range light[lo:hi] {
+	engine.Dispatch(workers, opts.chunk(), len(light), func(w, a, b int) {
+		for _, u := range light[a:b] {
 			s4, _ := CountNode(g, u, delta, scratch[w])
 			perW[w].Add(&s4)
 		}
 	})
-	var total Star4Counter
 	for w := range perW {
 		total.Add(&perW[w])
 	}
@@ -107,9 +131,9 @@ func CountStar4(g *temporal.Graph, delta temporal.Timestamp, opts Options) Star4
 			allPart[w] = [8]uint64{}
 			countsPart[w] = motif.Counts{TriMultiplicity: 1}
 		}
-		engine.Dispatch(workers, su.Len()/(workers*8)+1, su.Len(), func(w, lo, hi int) {
-			countAllTriplesRange(su, delta, &allPart[w], lo, hi)
-			fast.CountStarPairRange(su, delta, &countsPart[w], scratch[w], lo, hi)
+		engine.Dispatch(workers, su.Len()/(workers*8)+1, su.Len(), func(w, a, b int) {
+			countAllTriplesRange(su, delta, &allPart[w], a, b)
+			fast.CountStarPairRange(su, delta, &countsPart[w], scratch[w], a, b)
 		})
 		var all [8]uint64
 		counts := motif.Counts{TriMultiplicity: 1}
@@ -178,14 +202,36 @@ func countAllTriplesRange(seq temporal.Seq, delta temporal.Timestamp, out *[8]ui
 // after the chunked light edges — no worker inherits a contiguous block of
 // hubs. Bit-identical to the sequential CountPaths at any worker count.
 func CountPath4(g *temporal.Graph, delta temporal.Timestamp, opts Options) PathCounter {
+	return CountPath4Range(g, delta, opts, 0, g.NumEdges())
+}
+
+// CountPath4Range counts the 4-node paths whose structural-middle edge ID
+// lies in [lo, hi) (clamped to [0, NumEdges)). Every path instance has a
+// unique middle edge, so partial counters over any partition of the edge
+// IDs sum to CountPath4's full counter — the per-shard work unit of the
+// scatter/gather serving path (internal/shard).
+func CountPath4Range(g *temporal.Graph, delta temporal.Timestamp, opts Options, lo, hi int) PathCounter {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > g.NumEdges() {
+		hi = g.NumEdges()
+	}
+	var total PathCounter
+	if lo >= hi {
+		return total
+	}
 	workers := opts.workers()
 	if workers == 1 {
-		return CountPaths(g, delta)
+		for id := lo; id < hi; id++ {
+			countPathsMiddle(g, temporal.EdgeID(id), delta, &total)
+		}
+		return total
 	}
 	thrd := effThrd(g, opts)
 	src, dst := g.Src(), g.Dst()
 	var light, heavy []temporal.EdgeID
-	for id := 0; id < g.NumEdges(); id++ {
+	for id := lo; id < hi; id++ {
 		if thrd > 0 && (g.Degree(src[id]) > thrd || g.Degree(dst[id]) > thrd) {
 			heavy = append(heavy, temporal.EdgeID(id))
 		} else {
@@ -193,17 +239,16 @@ func CountPath4(g *temporal.Graph, delta temporal.Timestamp, opts Options) PathC
 		}
 	}
 	perW := make([]PathCounter, workers)
-	engine.Dispatch(workers, opts.chunk(), len(light), func(w, lo, hi int) {
-		for _, id := range light[lo:hi] {
+	engine.Dispatch(workers, opts.chunk(), len(light), func(w, a, b int) {
+		for _, id := range light[a:b] {
 			countPathsMiddle(g, id, delta, &perW[w])
 		}
 	})
-	engine.Dispatch(workers, 1, len(heavy), func(w, lo, hi int) {
-		for _, id := range heavy[lo:hi] {
+	engine.Dispatch(workers, 1, len(heavy), func(w, a, b int) {
+		for _, id := range heavy[a:b] {
 			countPathsMiddle(g, id, delta, &perW[w])
 		}
 	})
-	var total PathCounter
 	for w := range perW {
 		total.Add(&perW[w])
 	}

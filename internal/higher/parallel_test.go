@@ -170,3 +170,64 @@ func BenchmarkCountPath4(b *testing.B) {
 		})
 	}
 }
+
+// Range counters are the shard workers' unit of work: any partition of the
+// node IDs (stars) or middle-edge IDs (paths) must sum — partial counter by
+// partial counter — to the full count, at every scheduling regime, and
+// out-of-bounds ranges must clamp rather than panic.
+func TestCountRangePartitionsSumToFull(t *testing.T) {
+	r := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 8; trial++ {
+		g := hubGraph(r, 4+r.Intn(10), 40+r.Intn(120), 50+r.Intn(50), 1+int64(r.Intn(30)))
+		delta := temporal.Timestamp(1 + r.Intn(25))
+		for _, workers := range []int{1, 3} {
+			opts := Options{Workers: workers}
+			wantS := CountStar4(g, delta, opts)
+			wantP := CountPath4(g, delta, opts)
+			cut := func(n int) []int {
+				cuts := []int{0}
+				for pos := 0; pos < n; {
+					pos += 1 + r.Intn(n/2+1)
+					if pos > n {
+						pos = n
+					}
+					cuts = append(cuts, pos)
+				}
+				if cuts[len(cuts)-1] != n {
+					cuts = append(cuts, n)
+				}
+				return cuts
+			}
+			var gotS Star4Counter
+			for cuts, i := cut(g.NumNodes()), 0; i+1 < len(cuts); i++ {
+				part := CountStar4Range(g, delta, opts, cuts[i], cuts[i+1])
+				gotS.Add(&part)
+			}
+			if gotS != wantS {
+				t.Fatalf("trial %d workers %d: star4 partition sum %v != full %v", trial, workers, gotS, wantS)
+			}
+			var gotP PathCounter
+			for cuts, i := cut(g.NumEdges()), 0; i+1 < len(cuts); i++ {
+				part := CountPath4Range(g, delta, opts, cuts[i], cuts[i+1])
+				gotP.Add(&part)
+			}
+			if gotP != wantP {
+				t.Fatalf("trial %d workers %d: path4 partition sum differs from full", trial, workers)
+			}
+		}
+	}
+	// Clamping: negative lo, overlong hi, and empty/inverted ranges.
+	g := hubGraph(r, 8, 60, 40, 20)
+	if got, want := CountStar4Range(g, 10, Options{Workers: 1}, -5, g.NumNodes()+7), CountStar4(g, 10, Options{Workers: 1}); got != want {
+		t.Errorf("clamped star4 range differs from full count")
+	}
+	if got := CountStar4Range(g, 10, Options{}, 3, 3); got.Total() != 0 {
+		t.Errorf("empty star4 range counted %d", got.Total())
+	}
+	if got := CountPath4Range(g, 10, Options{}, 5, 2); got.Total() != 0 {
+		t.Errorf("inverted path4 range counted %d", got.Total())
+	}
+	if got, want := CountPath4Range(g, 10, Options{Workers: 1}, -1, g.NumEdges()+3), CountPaths(g, 10); got != want {
+		t.Errorf("clamped path4 range differs from full count")
+	}
+}

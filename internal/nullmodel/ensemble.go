@@ -172,6 +172,13 @@ func (e *Ensemble) Run(g *temporal.Graph, delta temporal.Timestamp) (*Report, er
 		return nil, runErr
 	}
 
+	finishReport(rep, chunkStats)
+	return rep, nil
+}
+
+// finishReport merges the per-chunk moment states in index order — the
+// deterministic aggregation tree — and derives the report statistics.
+func finishReport(rep *Report, chunkStats []moments) {
 	var total moments
 	for c := range chunkStats {
 		total.merge(&chunkStats[c])
@@ -188,5 +195,85 @@ func (e *Ensemble) Run(g *temporal.Graph, delta temporal.Timestamp) (*Report, er
 			rep.PLower[i][j] = (1 + float64(total.le[i][j])) / (total.n + 1)
 		}
 	}
+}
+
+// SampleMatrices draws and counts the null samples with indices [lo, hi)
+// and returns their exact count matrices in index order. Sample t uses the
+// same deterministic seed chain as Ensemble.Run (Seed + t·7919), so any
+// partition of [0, Samples) across processes reproduces exactly the
+// matrices a single Run would have observed — the worker half of the
+// scatter/gather significance path (internal/shard). workers bounds local
+// parallelism and never changes the matrices.
+func SampleMatrices(g *temporal.Graph, delta temporal.Timestamp, model Model,
+	seed int64, lo, hi, workers int) ([]motif.Matrix, error) {
+	if g == nil {
+		return nil, fmt.Errorf("nullmodel: nil graph")
+	}
+	if delta < 0 {
+		return nil, fmt.Errorf("nullmodel: negative δ (%d)", delta)
+	}
+	if lo < 0 || hi < lo {
+		return nil, fmt.Errorf("nullmodel: invalid sample range [%d, %d)", lo, hi)
+	}
+	n := hi - lo
+	out := make([]motif.Matrix, n)
+	if n == 0 {
+		return out, nil
+	}
+	w := engine.Options{Workers: workers}.EffectiveWorkers()
+	if w > n {
+		w = n
+	}
+	samplers := make([]*Sampler, w)
+	scratch := make([]*fast.Scratch, w)
+	for i := 0; i < w; i++ {
+		samplers[i] = NewSampler(g, model)
+		scratch[i] = fast.NewScratch()
+		scratch[i].Grow(g.NumNodes())
+	}
+	var (
+		errMu  sync.Mutex
+		runErr error
+	)
+	engine.Dispatch(w, 1, n, func(w, a, b int) {
+		var counts motif.Counts
+		for i := a; i < b; i++ {
+			sg, err := samplers[w].Sample(sampleSeed(seed, lo+i))
+			if err != nil {
+				errMu.Lock()
+				if runErr == nil {
+					runErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			out[i] = countMatrix(sg, delta, &counts, scratch[w])
+		}
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return out, nil
+}
+
+// ReportFromSamples assembles the exact Ensemble.Run report from
+// already-counted sample matrices: samples[t] must be the count matrix of
+// null sample t (the SampleMatrices output for [0, len(samples))). The
+// matrices fold into the same fixed-size aggregation chunks, observed in
+// sample-index order and merged in chunk-index order, so the resulting
+// floating-point statistics are bit-identical to a single-process
+// Ensemble.Run with the same model, seed chain and sample count — the
+// gather half of the scatter/gather significance path. workers is recorded
+// verbatim in Report.Workers (informational). len(samples) must be >= 1.
+func ReportFromSamples(model Model, real motif.Matrix, samples []motif.Matrix, workers int) (*Report, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("nullmodel: no sample matrices")
+	}
+	rep := &Report{Model: model, Trials: len(samples), Workers: workers, Real: real}
+	chunkStats := make([]moments, (len(samples)+aggChunk-1)/aggChunk)
+	for t := range samples {
+		chunkStats[t/aggChunk].observe(&samples[t], &rep.Real)
+	}
+	finishReport(rep, chunkStats)
 	return rep, nil
 }

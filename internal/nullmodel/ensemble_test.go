@@ -208,3 +208,69 @@ func BenchmarkEnsemble(b *testing.B) {
 		})
 	}
 }
+
+// The scatter/gather significance path: sample matrices drawn in disjoint
+// index ranges (any partition, any per-range worker count) and re-folded
+// by ReportFromSamples must reproduce Ensemble.Run bit-identically — this
+// is the invariant the internal/shard coordinator relies on.
+func TestSampleMatricesPartitionAssemblesRunReport(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	g := randomGraph(r, 30, 800, 1500)
+	const samples, seed = 22, int64(9)
+	var delta temporal.Timestamp = 60
+	for _, model := range []Model{TimeShuffle, DegreeRewire} {
+		e := &Ensemble{Model: model, Samples: samples, Seed: seed, Workers: 3}
+		want, err := e.Run(g, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cuts := range [][]int{
+			{0, samples},
+			{0, 1, samples},
+			{0, 7, 11, samples},
+			{0, 4, 8, 12, 16, samples},
+		} {
+			mats := make([]motif.Matrix, 0, samples)
+			for i := 0; i+1 < len(cuts); i++ {
+				part, err := SampleMatrices(g, delta, model, seed, cuts[i], cuts[i+1], i+1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(part) != cuts[i+1]-cuts[i] {
+					t.Fatalf("range [%d,%d): %d matrices", cuts[i], cuts[i+1], len(part))
+				}
+				mats = append(mats, part...)
+			}
+			got, err := ReportFromSamples(model, want.Real, mats, want.Workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reportsBitIdentical(want, got) {
+				t.Fatalf("%v: assembled report from cuts %v differs from Ensemble.Run", model, cuts)
+			}
+		}
+	}
+}
+
+func TestSampleMatricesErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	g := randomGraph(r, 10, 50, 100)
+	if _, err := SampleMatrices(nil, 10, TimeShuffle, 1, 0, 2, 1); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := SampleMatrices(g, -1, TimeShuffle, 1, 0, 2, 1); err == nil {
+		t.Error("negative delta accepted")
+	}
+	if _, err := SampleMatrices(g, 10, TimeShuffle, 1, 3, 2, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := SampleMatrices(g, 10, Model(99), 1, 0, 2, 1); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if out, err := SampleMatrices(g, 10, TimeShuffle, 1, 5, 5, 1); err != nil || len(out) != 0 {
+		t.Errorf("empty range: %v, %d matrices", err, len(out))
+	}
+	if _, err := ReportFromSamples(TimeShuffle, motif.Matrix{}, nil, 1); err == nil {
+		t.Error("empty sample set accepted")
+	}
+}

@@ -9,7 +9,7 @@ import (
 	"hare/internal/temporal"
 )
 
-// FileLoader returns a LoadFunc for a graph file, wiring the `.hare`
+// FileLoader returns a SourcedLoadFunc for a graph file, wiring the `.hare`
 // snapshot format into the registry's lazy-load path:
 //
 //   - A text edge-list path first probes the sibling snapshot
@@ -26,41 +26,48 @@ import (
 //     snapshot error fails the load: corruption in an explicitly
 //     requested snapshot should be loud, not silently papered over.
 //
+// The returned loader reports which branch actually produced the graph as
+// its provenance string — "snapshot <path>", "snapshot-sibling <snap>",
+// "text <path>", or "text-fallback <cand>" — surfaced by /v1/datasets so
+// operators can see which nodes cold-started off binary snapshots.
+//
 // logf receives human-readable progress lines (nil discards them); pass
 // log.Printf from a daemon. opts applies to text parsing only — snapshots
 // fixed their relabeling and edge order when written.
-func FileLoader(path string, opts temporal.LoadOptions, logf func(format string, args ...any)) LoadFunc {
+func FileLoader(path string, opts temporal.LoadOptions, logf func(format string, args ...any)) SourcedLoadFunc {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	if base, ok := snapshotBase(path); ok {
-		return func() (*temporal.Graph, error) {
+		return func() (*temporal.Graph, string, error) {
 			g, err := temporal.LoadFile(path, opts)
 			var ve *temporal.SnapshotVersionError
 			if !errors.As(err, &ve) {
-				return g, err
+				return g, "snapshot " + path, err
 			}
 			for _, cand := range textSiblings(base) {
 				if _, serr := os.Stat(cand); serr != nil {
 					continue
 				}
 				logf("dataset %s: %v; falling back to text load of %s", path, err, cand)
-				return temporal.LoadFile(cand, opts)
+				g, err := temporal.LoadFile(cand, opts)
+				return g, "text-fallback " + cand, err
 			}
-			return nil, fmt.Errorf("%w (and no text sibling of %s found to fall back to)", err, base)
+			return nil, "", fmt.Errorf("%w (and no text sibling of %s found to fall back to)", err, base)
 		}
 	}
-	return func() (*temporal.Graph, error) {
+	return func() (*temporal.Graph, string, error) {
 		snap := path + ".hare"
 		if _, serr := os.Stat(snap); serr == nil {
 			g, err := temporal.LoadFile(snap, opts)
 			if err == nil {
 				logf("dataset %s: loaded snapshot sibling %s", path, snap)
-				return g, nil
+				return g, "snapshot-sibling " + snap, nil
 			}
 			logf("dataset %s: snapshot sibling %s unusable (%v); falling back to text load", path, snap, err)
 		}
-		return temporal.LoadFile(path, opts)
+		g, err := temporal.LoadFile(path, opts)
+		return g, "text " + path, err
 	}
 }
 

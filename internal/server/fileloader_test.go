@@ -51,12 +51,15 @@ func TestFileLoaderTextPath(t *testing.T) {
 	}
 
 	t.Run("no sibling", func(t *testing.T) {
-		g, err := FileLoader(text, temporal.LoadOptions{}, t.Logf)()
+		g, source, err := FileLoader(text, temporal.LoadOptions{}, t.Logf)()
 		if err != nil {
 			t.Fatal(err)
 		}
 		if g.NumEdges() != textG.NumEdges() {
 			t.Fatalf("got %d edges, want %d (text)", g.NumEdges(), textG.NumEdges())
+		}
+		if want := "text " + text; source != want {
+			t.Fatalf("source = %q, want %q", source, want)
 		}
 	})
 
@@ -67,7 +70,7 @@ func TestFileLoaderTextPath(t *testing.T) {
 		defer os.Remove(text + ".hare")
 		var logs []string
 		logf := func(f string, a ...any) { logs = append(logs, fmt.Sprintf(f, a...)) }
-		g, err := FileLoader(text, temporal.LoadOptions{}, logf)()
+		g, source, err := FileLoader(text, temporal.LoadOptions{}, logf)()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,6 +79,9 @@ func TestFileLoaderTextPath(t *testing.T) {
 		}
 		if len(logs) != 1 || !strings.Contains(logs[0], "snapshot sibling") {
 			t.Fatalf("want one sibling log line, got %q", logs)
+		}
+		if want := "snapshot-sibling " + text + ".hare"; source != want {
+			t.Fatalf("source = %q, want %q", source, want)
 		}
 	})
 
@@ -86,7 +92,7 @@ func TestFileLoaderTextPath(t *testing.T) {
 		defer os.Remove(text + ".hare")
 		var logs []string
 		logf := func(f string, a ...any) { logs = append(logs, fmt.Sprintf(f, a...)) }
-		g, err := FileLoader(text, temporal.LoadOptions{}, logf)()
+		g, source, err := FileLoader(text, temporal.LoadOptions{}, logf)()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,6 +101,9 @@ func TestFileLoaderTextPath(t *testing.T) {
 		}
 		if len(logs) != 1 || !strings.Contains(logs[0], "unusable") {
 			t.Fatalf("want one fallback log line, got %q", logs)
+		}
+		if want := "text " + text; source != want {
+			t.Fatalf("source = %q, want %q", source, want)
 		}
 	})
 }
@@ -107,12 +116,15 @@ func TestFileLoaderSnapshotPath(t *testing.T) {
 		if err := temporal.SaveSnapshot(path, snapG); err != nil {
 			t.Fatal(err)
 		}
-		g, err := FileLoader(path, temporal.LoadOptions{}, nil)()
+		g, source, err := FileLoader(path, temporal.LoadOptions{}, nil)()
 		if err != nil {
 			t.Fatal(err)
 		}
 		if g.NumEdges() != snapG.NumEdges() {
 			t.Fatalf("got %d edges, want %d", g.NumEdges(), snapG.NumEdges())
+		}
+		if want := "snapshot " + path; source != want {
+			t.Fatalf("source = %q, want %q", source, want)
 		}
 	})
 
@@ -125,7 +137,7 @@ func TestFileLoaderSnapshotPath(t *testing.T) {
 		}
 		var logs []string
 		logf := func(f string, a ...any) { logs = append(logs, fmt.Sprintf(f, a...)) }
-		g, err := FileLoader(path, temporal.LoadOptions{}, logf)()
+		g, source, err := FileLoader(path, temporal.LoadOptions{}, logf)()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,12 +147,15 @@ func TestFileLoaderSnapshotPath(t *testing.T) {
 		if len(logs) != 1 || !strings.Contains(logs[0], "falling back to text load") {
 			t.Fatalf("want one fallback log line, got %q", logs)
 		}
+		if want := "text-fallback " + filepath.Join(dir, "g.txt"); source != want {
+			t.Fatalf("source = %q, want %q", source, want)
+		}
 	})
 
 	t.Run("future version without sibling fails typed", func(t *testing.T) {
 		path := filepath.Join(t.TempDir(), "g.hare")
 		futureSnapshot(t, path, snapG)
-		_, err := FileLoader(path, temporal.LoadOptions{}, nil)()
+		_, _, err := FileLoader(path, temporal.LoadOptions{}, nil)()
 		var ve *temporal.SnapshotVersionError
 		if !errors.As(err, &ve) {
 			t.Fatalf("want *SnapshotVersionError, got %v", err)
@@ -168,7 +183,7 @@ func TestFileLoaderSnapshotPath(t *testing.T) {
 		if err := temporal.SaveFile(filepath.Join(dir, "g.txt"), textG); err != nil {
 			t.Fatal(err)
 		}
-		_, err = FileLoader(path, temporal.LoadOptions{}, nil)()
+		_, _, err = FileLoader(path, temporal.LoadOptions{}, nil)()
 		if !errors.Is(err, temporal.ErrSnapshotChecksum) && !errors.Is(err, temporal.ErrSnapshotMalformed) {
 			t.Fatalf("want a typed corruption error, got %v", err)
 		}
@@ -182,7 +197,7 @@ func TestFileLoaderInRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := NewRegistry(0)
-	if err := r.Register("snap", "snapshot "+path, FileLoader(path, temporal.LoadOptions{}, nil)); err != nil {
+	if err := r.RegisterSourced("snap", "snapshot "+path, FileLoader(path, temporal.LoadOptions{}, nil)); err != nil {
 		t.Fatal(err)
 	}
 	g, err := r.Get("snap")
@@ -191,5 +206,9 @@ func TestFileLoaderInRegistry(t *testing.T) {
 	}
 	if g.NumEdges() != snapG.NumEdges() {
 		t.Fatalf("got %d edges, want %d", g.NumEdges(), snapG.NumEdges())
+	}
+	infos := r.List()
+	if len(infos) != 1 || infos[0].Source != "snapshot "+path {
+		t.Fatalf("List source = %+v, want snapshot %s", infos, path)
 	}
 }

@@ -15,6 +15,15 @@ import (
 // only if the graph was evicted in between.
 type LoadFunc func() (*temporal.Graph, error)
 
+// SourcedLoadFunc is a LoadFunc that also reports the graph's load
+// provenance: a short "<kind> <path>" string ("snapshot x.hare",
+// "snapshot-sibling x.txt.hare", "text x.txt", "text-fallback x.txt") or a
+// bare kind ("memory", "synthetic"). The registry surfaces the last
+// successful load's source through /v1/datasets, so operators can see
+// which nodes cold-started off binary .hare files and which paid a text
+// parse.
+type SourcedLoadFunc func() (*temporal.Graph, string, error)
+
 // Registry maps dataset names to immutable graphs, loading each one
 // lazily, exactly once per residency (concurrent first requests coalesce
 // onto a single load), and evicting the least recently used graph when
@@ -33,11 +42,12 @@ type Registry struct {
 
 type regEntry struct {
 	name string
-	load LoadFunc
+	load SourcedLoadFunc
 	desc string
 
-	g    *temporal.Graph // nil when not resident
-	elem *list.Element   // position in lru when resident
+	g      *temporal.Graph // nil when not resident
+	elem   *list.Element   // position in lru when resident
+	source string          // provenance of the last successful load ("" = never loaded)
 }
 
 // NewRegistry returns a registry keeping at most maxLoaded graphs resident
@@ -50,9 +60,20 @@ func NewRegistry(maxLoaded int) *Registry {
 	}
 }
 
-// Register adds a named dataset backed by a loader. desc is a short
-// human-readable description surfaced by /v1/datasets.
+// Register adds a named dataset backed by a loader with unknown
+// provenance. desc is a short human-readable description surfaced by
+// /v1/datasets; prefer RegisterSourced when the loader knows where its
+// bytes come from.
 func (r *Registry) Register(name, desc string, load LoadFunc) error {
+	return r.RegisterSourced(name, desc, func() (*temporal.Graph, string, error) {
+		g, err := load()
+		return g, "", err
+	})
+}
+
+// RegisterSourced adds a named dataset backed by a provenance-reporting
+// loader (see SourcedLoadFunc).
+func (r *Registry) RegisterSourced(name, desc string, load SourcedLoadFunc) error {
 	if name == "" {
 		return fmt.Errorf("server: empty dataset name")
 	}
@@ -69,7 +90,7 @@ func (r *Registry) Register(name, desc string, load LoadFunc) error {
 // backed by an always-ready loader, reinstates itself at zero cost if
 // evicted.
 func (r *Registry) RegisterGraph(name, desc string, g *temporal.Graph) error {
-	return r.Register(name, desc, func() (*temporal.Graph, error) { return g, nil })
+	return r.RegisterSourced(name, desc, func() (*temporal.Graph, string, error) { return g, "memory", nil })
 }
 
 // Get returns the named graph, loading it if necessary. Concurrent callers
@@ -94,7 +115,7 @@ func (r *Registry) Get(name string) (*temporal.Graph, error) {
 	// state worth keeping even if the requesters gave up — hence the
 	// Background context.
 	v, _, err := r.flights.do(context.Background(), name, func(context.Context) (any, error) {
-		g, err := e.load()
+		g, source, err := e.load()
 		if err != nil {
 			return nil, err
 		}
@@ -102,6 +123,7 @@ func (r *Registry) Get(name string) (*temporal.Graph, error) {
 		// Store before the flight resolves so a Get racing its completion
 		// finds the resident graph instead of starting a second load.
 		r.loads++
+		e.source = source
 		if e.elem != nil {
 			// Rare duplicate load (a previous flight resolved between this
 			// caller's residency check and its flight join): refresh the
@@ -144,11 +166,16 @@ func (e *UnknownDatasetError) Error() string {
 	return fmt.Sprintf("unknown dataset %q", e.Name)
 }
 
-// DatasetInfo describes one registered dataset for /v1/datasets.
+// DatasetInfo describes one registered dataset for /v1/datasets. Source is
+// the provenance of the most recent successful load (see SourcedLoadFunc);
+// it persists across LRU eviction — it describes where the graph came
+// from, not whether it is resident now — and is empty for a dataset that
+// has never loaded.
 type DatasetInfo struct {
 	Name   string `json:"name"`
 	Desc   string `json:"desc,omitempty"`
 	Loaded bool   `json:"loaded"`
+	Source string `json:"source,omitempty"`
 	Nodes  int    `json:"nodes,omitempty"`
 	Edges  int    `json:"edges,omitempty"`
 }
@@ -159,7 +186,7 @@ func (r *Registry) List() []DatasetInfo {
 	defer r.mu.Unlock()
 	out := make([]DatasetInfo, 0, len(r.entries))
 	for _, e := range r.entries {
-		info := DatasetInfo{Name: e.name, Desc: e.desc, Loaded: e.g != nil}
+		info := DatasetInfo{Name: e.name, Desc: e.desc, Loaded: e.g != nil, Source: e.source}
 		if e.g != nil {
 			info.Nodes = e.g.NumNodes()
 			info.Edges = e.g.NumEdges()

@@ -34,12 +34,15 @@ import (
 
 // Backend performs the counting for the four query kinds. Implementations
 // must be safe for concurrent use and exact: the answer may not depend on
-// req.Workers or req.Thrd.
+// req.Workers or req.Thrd. ctx is the job's flight context (canceled only
+// when every request waiting on the job has gone): the in-process library
+// backend may ignore it, a distributed backend (the internal/shard
+// coordinator) threads it through its scatter RPCs.
 type Backend interface {
-	Count(g *temporal.Graph, req Request) (CountAnswer, error)
-	Star4(g *temporal.Graph, req Request) (higher.Star4Counter, error)
-	Path4(g *temporal.Graph, req Request) (higher.PathCounter, error)
-	Significance(g *temporal.Graph, req Request) (*nullmodel.Report, error)
+	Count(ctx context.Context, g *temporal.Graph, req Request) (CountAnswer, error)
+	Star4(ctx context.Context, g *temporal.Graph, req Request) (higher.Star4Counter, error)
+	Path4(ctx context.Context, g *temporal.Graph, req Request) (higher.PathCounter, error)
+	Significance(ctx context.Context, g *temporal.Graph, req Request) (*nullmodel.Report, error)
 }
 
 // CountAnswer is a Backend.Count result: the exact matrix plus the
@@ -66,6 +69,10 @@ type Options struct {
 	MaxLoadedGraphs int
 	// Version is reported by /healthz and hared_build_info.
 	Version string
+	// Role names the process's place in a cluster — "single" (default),
+	// "coordinator", or "worker" — reported by /healthz so operators can
+	// tell scatter/gather tiers apart (docs/SHARDING.md).
+	Role string
 }
 
 // Server is the hared HTTP service. Create with New, register datasets,
@@ -77,6 +84,7 @@ type Server struct {
 	admission *Admission
 	metrics   *metrics
 	version   string
+	role      string
 	mux       *http.ServeMux
 }
 
@@ -100,6 +108,10 @@ func New(opts Options) (*Server, error) {
 		admission: NewAdmission(budget),
 		metrics:   newMetrics(),
 		version:   opts.Version,
+		role:      opts.Role,
+	}
+	if s.role == "" {
+		s.role = "single"
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/count", s.query(KindCount))
@@ -117,6 +129,12 @@ func (s *Server) Register(name, desc string, load LoadFunc) error {
 	return s.registry.Register(name, desc, load)
 }
 
+// RegisterSourced adds a dataset backed by a provenance-reporting loader;
+// see Registry.RegisterSourced.
+func (s *Server) RegisterSourced(name, desc string, load SourcedLoadFunc) error {
+	return s.registry.RegisterSourced(name, desc, load)
+}
+
 // RegisterGraph adds a pre-built dataset; see Registry.RegisterGraph.
 func (s *Server) RegisterGraph(name, desc string, g *temporal.Graph) error {
 	return s.registry.RegisterGraph(name, desc, g)
@@ -128,6 +146,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Preload loads the named dataset now (instead of on first request) and
 // returns its graph.
 func (s *Server) Preload(name string) (*temporal.Graph, error) { return s.registry.Get(name) }
+
+// Datasets lists the registered datasets, as /v1/datasets reports them.
+func (s *Server) Datasets() []DatasetInfo { return s.registry.List() }
 
 // CacheStats exposes the result-cache counters (hits, misses, evictions,
 // coalesced in-flight joins) for tests and load reports.
@@ -228,25 +249,25 @@ func (s *Server) compute(ctx context.Context, req Request) (any, error) {
 	res := &jobResult{kind: req.Kind, workers: weight, nodes: g.NumNodes(), edges: g.NumEdges()}
 	switch req.Kind {
 	case KindCount:
-		ans, err := s.backend.Count(g, req)
+		ans, err := s.backend.Count(ctx, g, req)
 		if err != nil {
 			return nil, err
 		}
 		res.count = &ans
 	case KindStar4:
-		c, err := s.backend.Star4(g, req)
+		c, err := s.backend.Star4(ctx, g, req)
 		if err != nil {
 			return nil, err
 		}
 		res.star4 = &c
 	case KindPath4:
-		c, err := s.backend.Path4(g, req)
+		c, err := s.backend.Path4(ctx, g, req)
 		if err != nil {
 			return nil, err
 		}
 		res.path4 = &c
 	case KindSig:
-		rep, err := s.backend.Significance(g, req)
+		rep, err := s.backend.Significance(ctx, g, req)
 		if err != nil {
 			return nil, err
 		}
@@ -395,6 +416,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"status":         "ok",
 		"version":        s.version,
+		"role":           s.role,
 		"datasets":       len(s.registry.List()),
 		"loaded":         resident,
 		"uptime_seconds": time.Since(s.metrics.start).Seconds(),

@@ -46,7 +46,7 @@ func (f *fakeBackend) enter() {
 
 func (f *fakeBackend) exit() { f.inflight.Add(-1) }
 
-func (f *fakeBackend) Count(g *temporal.Graph, req Request) (CountAnswer, error) {
+func (f *fakeBackend) Count(_ context.Context, g *temporal.Graph, req Request) (CountAnswer, error) {
 	f.enter()
 	defer f.exit()
 	f.workerSeen.Store(int64(req.Workers))
@@ -55,7 +55,7 @@ func (f *fakeBackend) Count(g *temporal.Graph, req Request) (CountAnswer, error)
 	return CountAnswer{Matrix: m, Workers: req.Workers, DegreeThreshold: 7}, nil
 }
 
-func (f *fakeBackend) Star4(g *temporal.Graph, req Request) (higher.Star4Counter, error) {
+func (f *fakeBackend) Star4(_ context.Context, g *temporal.Graph, req Request) (higher.Star4Counter, error) {
 	f.enter()
 	defer f.exit()
 	var c higher.Star4Counter
@@ -63,7 +63,7 @@ func (f *fakeBackend) Star4(g *temporal.Graph, req Request) (higher.Star4Counter
 	return c, nil
 }
 
-func (f *fakeBackend) Path4(g *temporal.Graph, req Request) (higher.PathCounter, error) {
+func (f *fakeBackend) Path4(_ context.Context, g *temporal.Graph, req Request) (higher.PathCounter, error) {
 	f.enter()
 	defer f.exit()
 	var c higher.PathCounter
@@ -71,7 +71,7 @@ func (f *fakeBackend) Path4(g *temporal.Graph, req Request) (higher.PathCounter,
 	return c, nil
 }
 
-func (f *fakeBackend) Significance(g *temporal.Graph, req Request) (*nullmodel.Report, error) {
+func (f *fakeBackend) Significance(_ context.Context, g *temporal.Graph, req Request) (*nullmodel.Report, error) {
 	f.enter()
 	defer f.exit()
 	rep := &nullmodel.Report{Trials: req.Samples, Workers: req.Workers}

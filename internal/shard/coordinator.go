@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"hare/internal/engine"
+	"hare/internal/higher"
+	"hare/internal/nullmodel"
+	"hare/internal/server"
+	"hare/internal/temporal"
+)
+
+// Coordinator implements server.Backend by scattering each query across
+// the client's worker fleet and gathering the partials into the exact
+// single-node answer. Plug it into server.Options.Backend: the serving
+// layer's cache, singleflight and admission control then all sit
+// coordinator-side — workers only ever see already-deduplicated,
+// already-admitted sub-requests.
+//
+// Every partition rides a uniqueness argument (unique star center, unique
+// path middle edge, index-derived sample seed) so the merged answer is
+// bit-identical to the in-process library backend at any fleet size;
+// /v1/count is not range-splittable and is routed whole to the worker
+// that rendezvous hashing assigns the dataset.
+type Coordinator struct {
+	client *Client
+}
+
+// NewCoordinator returns a scatter/gather backend over the client's
+// peers.
+func NewCoordinator(client *Client) *Coordinator {
+	return &Coordinator{client: client}
+}
+
+// sub builds the plan-invariant fields of a sub-request for one query.
+func sub(req server.Request, g *temporal.Graph, shard, shards, lo, hi int) SubRequest {
+	return SubRequest{
+		Proto:   ProtoVersion,
+		Kind:    req.Kind,
+		Dataset: req.Dataset,
+		Delta:   req.Delta,
+		Shard:   shard,
+		Shards:  shards,
+		Lo:      lo,
+		Hi:      hi,
+		Nodes:   g.NumNodes(),
+		Edges:   g.NumEdges(),
+		Workers: req.Workers,
+		Thrd:    req.Thrd,
+		ThrdSet: req.ThrdSet,
+		Motif:   req.Motif,
+		Model:   req.Model,
+		Seed:    req.Seed,
+	}
+}
+
+// rangeTasks plans one task per contiguous range of [0, n), home peer i
+// for shard i (ranges and peers are both position-indexed, so shard i's
+// work lands on worker i unless retries or hedges move it).
+func (c *Coordinator) rangeTasks(req server.Request, g *temporal.Graph, n int) []task {
+	ranges := Ranges(n, len(c.client.peers))
+	tasks := make([]task, len(ranges))
+	for i, r := range ranges {
+		tasks[i] = task{sub: sub(req, g, i, len(ranges), r.Lo, r.Hi), home: i}
+	}
+	return tasks
+}
+
+// Count routes the whole query to the worker rendezvous hashing assigns
+// the dataset: the 2/3-node kernel is not range-splittable, but distinct
+// datasets spread across the fleet and stay resident where they land.
+func (c *Coordinator) Count(ctx context.Context, g *temporal.Graph, req server.Request) (server.CountAnswer, error) {
+	home := PickShard(req.Dataset, len(c.client.peers))
+	tasks := []task{{sub: sub(req, g, 0, 1, 0, 0), home: home}}
+	gather, err := c.client.scatter(ctx, tasks)
+	if err != nil {
+		return server.CountAnswer{}, err
+	}
+	return gather.MergeCount()
+}
+
+// Star4 scatters center-node ID ranges and sums the partial counters in
+// shard order.
+func (c *Coordinator) Star4(ctx context.Context, g *temporal.Graph, req server.Request) (higher.Star4Counter, error) {
+	tasks := c.rangeTasks(req, g, g.NumNodes())
+	if len(tasks) == 0 {
+		return higher.Star4Counter{}, nil
+	}
+	gather, err := c.client.scatter(ctx, tasks)
+	if err != nil {
+		return higher.Star4Counter{}, err
+	}
+	return gather.MergeStar4()
+}
+
+// Path4 scatters middle-edge ID ranges and sums the partial counters in
+// shard order.
+func (c *Coordinator) Path4(ctx context.Context, g *temporal.Graph, req server.Request) (higher.PathCounter, error) {
+	tasks := c.rangeTasks(req, g, g.NumEdges())
+	if len(tasks) == 0 {
+		return higher.PathCounter{}, nil
+	}
+	gather, err := c.client.scatter(ctx, tasks)
+	if err != nil {
+		return higher.PathCounter{}, err
+	}
+	return gather.MergePath4()
+}
+
+// Significance counts the real graph locally (the coordinator holds a
+// replica anyway, and the real count is one engine run), scatters
+// sample-index ranges, and folds the returned raw sample matrices through
+// the deterministic Welford chunk tree — bit-identical to a local
+// ensemble run because the per-sample seed chain is index-derived and the
+// shard ranges are contiguous and ascending.
+func (c *Coordinator) Significance(ctx context.Context, g *temporal.Graph, req server.Request) (*nullmodel.Report, error) {
+	model, err := nullmodel.ParseModel(req.Model)
+	if err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	samples := req.Samples
+	if samples <= 0 {
+		samples = 20
+	}
+	real := engine.Count(g, temporal.Timestamp(req.Delta), engine.Options{Workers: req.Workers}).ToMatrix()
+	tasks := c.rangeTasks(req, g, samples)
+	gather, err := c.client.scatter(ctx, tasks)
+	if err != nil {
+		return nil, err
+	}
+	return gather.MergeSig(model, real, req.Workers)
+}

@@ -1,0 +1,303 @@
+package shard
+
+// Fault-injection tests for the scatter client: dead, hanging and
+// misbehaving workers, exercised through the Coordinator so the
+// failure-handling the serving path relies on is what is tested —
+// retry-with-rotation rescues a query when a healthy peer remains, a
+// straggler is hedged around, permanent rejections fail fast, and a fully
+// failed scatter degrades loudly instead of answering partially.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hare/internal/engine"
+	"hare/internal/higher"
+	"hare/internal/motif"
+	"hare/internal/nullmodel"
+	"hare/internal/server"
+	"hare/internal/temporal"
+)
+
+// fakeSource serves one fixed graph under one name.
+type fakeSource struct {
+	name string
+	g    *temporal.Graph
+}
+
+func (f *fakeSource) Preload(name string) (*temporal.Graph, error) {
+	if name != f.name {
+		return nil, &server.UnknownDatasetError{Name: name}
+	}
+	return f.g, nil
+}
+
+func (f *fakeSource) Datasets() []server.DatasetInfo {
+	return []server.DatasetInfo{{Name: f.name, Loaded: true}}
+}
+
+// countBackend is the minimal count implementation a test worker needs.
+type countBackend struct{}
+
+func (countBackend) Count(_ context.Context, g *temporal.Graph, req server.Request) (server.CountAnswer, error) {
+	eo := engine.Options{Workers: req.Workers}
+	return server.CountAnswer{
+		Matrix:          engine.Count(g, temporal.Timestamp(req.Delta), eo).ToMatrix(),
+		Workers:         req.Workers,
+		DegreeThreshold: engine.EffectiveDegreeThreshold(g, eo),
+	}, nil
+}
+
+func (countBackend) Star4(context.Context, *temporal.Graph, server.Request) (higher.Star4Counter, error) {
+	return higher.Star4Counter{}, errors.New("unused")
+}
+
+func (countBackend) Path4(context.Context, *temporal.Graph, server.Request) (higher.PathCounter, error) {
+	return higher.PathCounter{}, errors.New("unused")
+}
+
+func (countBackend) Significance(context.Context, *temporal.Graph, server.Request) (*nullmodel.Report, error) {
+	return nil, errors.New("unused")
+}
+
+// liveWorker boots a real shard worker over g.
+func liveWorker(t *testing.T, g *temporal.Graph) *httptest.Server {
+	t.Helper()
+	w := &Worker{Graphs: &fakeSource{name: "d", g: g}, Backend: countBackend{}, Version: "test"}
+	hs := httptest.NewServer(w.Handler())
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+func starReq() server.Request {
+	return server.Request{Kind: server.KindStar4, Dataset: "d", Delta: 600, Workers: 2}
+}
+
+// TestRetryRotatesPastDeadWorker: one peer answers 500, its shard retries
+// onto the healthy peer and the query still returns the exact counter.
+func TestRetryRotatesPastDeadWorker(t *testing.T) {
+	g := shardTestGraph(t)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "injected crash", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	live := liveWorker(t, g)
+
+	m := NewMetrics()
+	client, err := NewClient([]string{dead.URL, live.URL}, Policy{Timeout: 5 * time.Second, Retries: 2, Backoff: time.Millisecond}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewCoordinator(client).Star4(context.Background(), g, starReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := higher.CountStar4(g, 600, higher.Options{Workers: 2})
+	if got != want {
+		t.Fatalf("degraded-fleet counter diverges from single-node count")
+	}
+	retries, _, failures := m.Snapshot()
+	if retries == 0 {
+		t.Error("no retries recorded despite a dead peer")
+	}
+	if failures != 0 {
+		t.Errorf("failures = %d, want 0 (the retry rescued the shard)", failures)
+	}
+}
+
+// TestTimeoutThenRetry: a worker that hangs past the per-attempt timeout
+// is abandoned and its shard retried on the healthy peer.
+func TestTimeoutThenRetry(t *testing.T) {
+	g := shardTestGraph(t)
+	done := make(chan struct{})
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Never answers: the client abandons the attempt at its timeout.
+		// (done unblocks the handler at test end so Close can return.)
+		select {
+		case <-done:
+		case <-r.Context().Done():
+		}
+	}))
+	defer hang.Close()
+	defer close(done)
+	live := liveWorker(t, g)
+
+	m := NewMetrics()
+	client, err := NewClient([]string{hang.URL, live.URL},
+		Policy{Timeout: 150 * time.Millisecond, Retries: 1, Backoff: time.Millisecond}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewCoordinator(client).Star4(context.Background(), g, starReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := higher.CountStar4(g, 600, higher.Options{Workers: 2}); got != want {
+		t.Fatal("counter diverges after timeout+retry")
+	}
+	if retries, _, _ := m.Snapshot(); retries == 0 {
+		t.Error("no retries recorded despite a hanging peer")
+	}
+}
+
+// TestHedgeBeatsStraggler: the straggling shard is duplicated onto the
+// next peer after HedgeAfter and the fast copy's answer wins, well before
+// the straggler's own timeout.
+func TestHedgeBeatsStraggler(t *testing.T) {
+	g := shardTestGraph(t)
+	live := liveWorker(t, g)
+	var delayed atomic.Int64
+	done := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		delayed.Add(1)
+		select {
+		case <-done: // straggles until the test ends
+		case <-r.Context().Done():
+		}
+	}))
+	defer slow.Close()
+	defer close(done)
+
+	m := NewMetrics()
+	client, err := NewClient([]string{slow.URL, live.URL},
+		Policy{Timeout: 30 * time.Second, Retries: 0, Backoff: time.Millisecond, HedgeAfter: 50 * time.Millisecond}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	got, err := NewCoordinator(client).Star4(context.Background(), g, starReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := higher.CountStar4(g, 600, higher.Options{Workers: 2}); got != want {
+		t.Fatal("counter diverges after hedged dispatch")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("hedge did not rescue the straggler (took %v)", elapsed)
+	}
+	if _, hedges, _ := m.Snapshot(); hedges == 0 {
+		t.Error("no hedges recorded despite a straggling peer")
+	}
+	if delayed.Load() == 0 {
+		t.Error("straggler was never consulted — hedge test exercised nothing")
+	}
+}
+
+// TestAllPeersDownDegradesLoudly: when every attempt fails the scatter
+// errors naming the lost shards; no partial counter is ever returned.
+func TestAllPeersDownDegradesLoudly(t *testing.T) {
+	g := shardTestGraph(t)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+
+	m := NewMetrics()
+	client, err := NewClient([]string{dead.URL, dead.URL},
+		Policy{Timeout: time.Second, Retries: 1, Backoff: time.Millisecond}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewCoordinator(client).Star4(context.Background(), g, starReq())
+	if err == nil {
+		t.Fatal("fully dead fleet still answered")
+	}
+	for _, want := range []string{"scatter degraded", "shard"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if _, _, failures := m.Snapshot(); failures == 0 {
+		t.Error("degraded scatter not counted in metrics")
+	}
+}
+
+// TestPermanentRejectionsFailFast: 4xx answers (proto mismatch, shape
+// mismatch, unknown dataset) abort without retries.
+func TestPermanentRejectionsFailFast(t *testing.T) {
+	g := shardTestGraph(t)
+	live := liveWorker(t, g)
+	m := NewMetrics()
+	client, err := NewClient([]string{live.URL}, Policy{Timeout: time.Second, Retries: 3, Backoff: time.Millisecond}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := SubRequest{
+		Proto: ProtoVersion, Kind: server.KindStar4, Dataset: "d", Delta: 600,
+		Shard: 0, Shards: 1, Lo: 0, Hi: g.NumNodes(),
+		Nodes: g.NumNodes(), Edges: g.NumEdges(), Workers: 1,
+	}
+	cases := []struct {
+		name   string
+		mutate func(*SubRequest)
+		status int
+	}{
+		{"proto mismatch", func(s *SubRequest) { s.Proto = ProtoVersion + 1 }, http.StatusUpgradeRequired},
+		{"shape mismatch", func(s *SubRequest) { s.Nodes++ }, http.StatusConflict},
+		{"unknown dataset", func(s *SubRequest) { s.Dataset = "nope" }, http.StatusNotFound},
+		{"bad range", func(s *SubRequest) { s.Lo, s.Hi = 5, 2 }, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sub := base
+			tc.mutate(&sub)
+			before, _, _ := m.Snapshot()
+			_, err := client.do(context.Background(), 0, sub)
+			var pe *PermanentError
+			if !errors.As(err, &pe) {
+				t.Fatalf("want PermanentError, got %v", err)
+			}
+			if pe.Status != tc.status {
+				t.Fatalf("status = %d, want %d (%v)", pe.Status, tc.status, err)
+			}
+			if after, _, _ := m.Snapshot(); after != before {
+				t.Errorf("permanent rejection consumed %d retries", after-before)
+			}
+		})
+	}
+}
+
+// TestWorkerComputeMatchesLibrary: a worker's partials for full ranges
+// equal direct library calls — the worker-side half of the bit-identity
+// argument, without the coordinator in the loop.
+func TestWorkerComputeMatchesLibrary(t *testing.T) {
+	g := shardTestGraph(t)
+	live := liveWorker(t, g)
+	client, err := NewClient([]string{live.URL}, Policy{Timeout: 10 * time.Second, Retries: 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(client)
+	ctx := context.Background()
+
+	star, err := co.Star4(ctx, g, starReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := higher.CountStar4(g, 600, higher.Options{Workers: 2}); star != want {
+		t.Error("star4 diverges")
+	}
+	path, err := co.Path4(ctx, g, server.Request{Kind: server.KindPath4, Dataset: "d", Delta: 600, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := higher.CountPath4(g, 600, higher.Options{Workers: 2}); path != want {
+		t.Error("path4 diverges")
+	}
+	ans, err := co.Count(ctx, g, server.Request{Kind: server.KindCount, Dataset: "d", Delta: 600, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo := engine.Options{Workers: 2}
+	if want := engine.Count(g, 600, eo).ToMatrix(); ans.Matrix != want {
+		t.Error("count matrix diverges")
+	}
+	var _ motif.Matrix = ans.Matrix
+}

@@ -1,0 +1,160 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics counts the coordinator side of the scatter/gather tier. A
+// coordinator hared appends these to its Prometheus /metrics text; all
+// methods are safe for concurrent use and a nil-safe zero is available
+// via NewMetrics.
+type Metrics struct {
+	mu sync.Mutex
+	// per (kind, peer): sub-request attempts and latency
+	attempts map[string]*peerStat
+	// per kind: retries, hedges, scatters that failed shards
+	retries  map[string]uint64
+	hedges   map[string]uint64
+	failures map[string]uint64
+	// failedShards accumulates the total shard count lost across degraded
+	// scatters (a 4-shard plan losing 2 adds 2).
+	failedShards uint64
+}
+
+type peerStat struct {
+	count      uint64
+	errors     uint64
+	latencySum float64 // seconds
+}
+
+// NewMetrics returns an empty counter set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		attempts: make(map[string]*peerStat),
+		retries:  make(map[string]uint64),
+		hedges:   make(map[string]uint64),
+		failures: make(map[string]uint64),
+	}
+}
+
+func key(kind, peer string) string { return kind + "\x00" + peer }
+
+// observe records one sub-request attempt against a peer.
+func (m *Metrics) observe(kind string, peerIdx int, peer string, d time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := key(kind, peer)
+	st := m.attempts[k]
+	if st == nil {
+		st = &peerStat{}
+		m.attempts[k] = st
+	}
+	st.count++
+	if failed {
+		st.errors++
+	}
+	st.latencySum += d.Seconds()
+}
+
+// retry records one retry attempt for a kind.
+func (m *Metrics) retry(kind string) {
+	m.mu.Lock()
+	m.retries[kind]++
+	m.mu.Unlock()
+}
+
+// hedge records one hedged duplicate dispatch for a kind.
+func (m *Metrics) hedge(kind string) {
+	m.mu.Lock()
+	m.hedges[kind]++
+	m.mu.Unlock()
+}
+
+// failure records one degraded scatter (lost shard count attached).
+func (m *Metrics) failure(kind string, shards int) {
+	m.mu.Lock()
+	m.failures[kind]++
+	m.failedShards += uint64(shards)
+	m.mu.Unlock()
+}
+
+// Snapshot returns the total retries, hedges and degraded scatters across
+// all kinds (for tests and load reports).
+func (m *Metrics) Snapshot() (retries, hedges, failures uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, v := range m.retries {
+		retries += v
+	}
+	for _, v := range m.hedges {
+		hedges += v
+	}
+	for _, v := range m.failures {
+		failures += v
+	}
+	return
+}
+
+// Write renders the counters in Prometheus text exposition format, in
+// deterministic label order. The coordinator appends this to the serving
+// layer's /metrics output.
+func (m *Metrics) Write(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP hared_shard_requests_total Sub-request attempts sent to shard workers.\n")
+	fmt.Fprintf(w, "# TYPE hared_shard_requests_total counter\n")
+	keys := make([]string, 0, len(m.attempts))
+	for k := range m.attempts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		kind, peer := split(k)
+		fmt.Fprintf(w, "hared_shard_requests_total{kind=%q,peer=%q} %d\n", kind, peer, m.attempts[k].count)
+	}
+	fmt.Fprintf(w, "# HELP hared_shard_request_errors_total Sub-request attempts that failed (transport or non-2xx).\n")
+	fmt.Fprintf(w, "# TYPE hared_shard_request_errors_total counter\n")
+	for _, k := range keys {
+		kind, peer := split(k)
+		fmt.Fprintf(w, "hared_shard_request_errors_total{kind=%q,peer=%q} %d\n", kind, peer, m.attempts[k].errors)
+	}
+	fmt.Fprintf(w, "# HELP hared_shard_latency_seconds_sum Summed sub-request latency per worker.\n")
+	fmt.Fprintf(w, "# TYPE hared_shard_latency_seconds_sum counter\n")
+	for _, k := range keys {
+		kind, peer := split(k)
+		fmt.Fprintf(w, "hared_shard_latency_seconds_sum{kind=%q,peer=%q} %g\n", kind, peer, m.attempts[k].latencySum)
+	}
+	writeKindCounter(w, "hared_shard_retries_total", "Sub-request retry attempts after a shard failure.", m.retries)
+	writeKindCounter(w, "hared_shard_hedges_total", "Hedged duplicate dispatches on straggling shards.", m.hedges)
+	writeKindCounter(w, "hared_shard_scatter_failures_total", "Scatters that failed at least one shard after all retries.", m.failures)
+	fmt.Fprintf(w, "# HELP hared_shard_failed_shards_total Shards lost across all degraded scatters.\n")
+	fmt.Fprintf(w, "# TYPE hared_shard_failed_shards_total counter\n")
+	fmt.Fprintf(w, "hared_shard_failed_shards_total %d\n", m.failedShards)
+}
+
+func writeKindCounter(w io.Writer, name, help string, byKind map[string]uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s counter\n", name)
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "%s{kind=%q} %d\n", name, k, byKind[k])
+	}
+}
+
+func split(k string) (kind, peer string) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == 0 {
+			return k[:i], k[i+1:]
+		}
+	}
+	return k, ""
+}

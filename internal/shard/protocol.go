@@ -1,0 +1,155 @@
+// Package shard implements hared's scatter/gather tier: a coordinator
+// that partitions one query into per-worker sub-requests, scatters them
+// over HTTP with per-shard timeout/retry/backoff and hedged re-dispatch,
+// and gathers the partial answers into the exact single-node result.
+//
+// The partitions ride the same associativity every in-process parallel
+// path already uses, lifted across processes:
+//
+//   - /v1/star4 splits by center-node ID range — every 4-node star has a
+//     unique center, so per-range Star4Counters sum exactly;
+//   - /v1/path4 splits by middle-edge ID range — every 4-node path has a
+//     unique structural-middle edge;
+//   - /v1/sig splits by sample-index range — per-sample seeds are
+//     index-derived, and the coordinator re-folds the raw sample count
+//     matrices through the same fixed-chunk Welford tree as a local run;
+//   - /v1/count is routed whole to one worker picked by rendezvous
+//     hashing of the dataset name (the counting kernel is not
+//     range-splittable, but datasets spread across the fleet).
+//
+// Merged in deterministic shard order, the gathered answer is
+// bit-identical to the single-node one at any worker count. The wire
+// protocol is specified normatively in docs/SHARDING.md; this file is the
+// reference implementation of its message types.
+package shard
+
+import (
+	"fmt"
+
+	"hare/internal/higher"
+	"hare/internal/motif"
+	"hare/internal/server"
+)
+
+// ProtoVersion is the scatter/gather wire-protocol version. A worker
+// refuses (HTTP 426) sub-requests whose proto field it does not speak;
+// versions are totally ordered and bumped on any incompatible change to
+// the message shapes or merge semantics below.
+const ProtoVersion = 1
+
+// Worker endpoint paths, mounted next to (not replacing) the public /v1
+// API.
+const (
+	PathCompute = "/shard/v1/compute"
+	PathInfo    = "/shard/v1/info"
+)
+
+// SubRequest is one shard's slice of a query: the kind plus the work
+// range it owns. Lo/Hi are half-open and kind-relative — center-node IDs
+// for star4, middle-edge IDs for path4, sample indices for sig, unused
+// for count (a count sub always covers the whole dataset).
+//
+// Nodes/Edges carry the coordinator's view of the dataset shape; a worker
+// whose resident graph disagrees answers 409 rather than silently
+// contributing partials from a different graph.
+type SubRequest struct {
+	Proto   int         `json:"proto"`
+	Kind    server.Kind `json:"kind"`
+	Dataset string      `json:"dataset"`
+	Delta   int64       `json:"delta"`
+
+	// Shard and Shards locate this slice in the scatter plan; the worker
+	// echoes Shard back so the gather can key partials idempotently.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	Lo     int `json:"lo"`
+	Hi     int `json:"hi"`
+
+	// Nodes and Edges are the coordinator's graph shape (consistency check).
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+
+	// Workers bounds the worker's local parallelism for this sub-request
+	// (0 = all CPUs). Never changes the partial.
+	Workers int `json:"workers,omitempty"`
+	// Thrd overrides the degree threshold when ThrdSet. Never changes the
+	// partial.
+	Thrd    int  `json:"thrd,omitempty"`
+	ThrdSet bool `json:"thrd_set,omitempty"`
+
+	// Motif restricts a count sub to one motif category (count kind only).
+	Motif string `json:"motif,omitempty"`
+	// Model and Seed configure null sampling (sig kind only).
+	Model string `json:"model,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+}
+
+// CountPartial is a count sub-request's answer: the full (possibly
+// category-restricted) matrix plus the scheduling the worker applied,
+// mirroring server.CountAnswer on the wire.
+type CountPartial struct {
+	Matrix          motif.Matrix `json:"matrix"`
+	Workers         int          `json:"workers"`
+	DegreeThreshold int          `json:"degree_threshold"`
+}
+
+// Partial is one shard's partial answer. Exactly one of the kind fields
+// is set. All counters are exact integers, so JSON round-trips them
+// bit-identically; Sig carries the raw per-sample count matrices (sample
+// lo up to hi, in index order) — the coordinator folds them through the
+// deterministic Welford chunk tree itself, because floating-point merge
+// order must not depend on the cluster layout.
+type Partial struct {
+	Proto int         `json:"proto"`
+	Kind  server.Kind `json:"kind"`
+	Shard int         `json:"shard"`
+
+	Count *CountPartial        `json:"count,omitempty"`
+	Star4 *higher.Star4Counter `json:"star4,omitempty"`
+	Path4 *higher.PathCounter  `json:"path4,omitempty"`
+	Sig   []motif.Matrix       `json:"sig,omitempty"`
+}
+
+// Info is a worker's /shard/v1/info self-description, used by operators
+// and by version-negotiation probes.
+type Info struct {
+	Proto    int      `json:"proto"`
+	Version  string   `json:"version,omitempty"`
+	Role     string   `json:"role"`
+	Datasets []string `json:"datasets"`
+}
+
+// wireError is the JSON error body a worker returns alongside a non-2xx
+// status.
+type wireError struct {
+	Error string `json:"error"`
+	// Proto is set on 426 responses: the version the worker speaks.
+	Proto int `json:"proto,omitempty"`
+}
+
+// validate checks the fields every kind requires; kind-specific range
+// checks happen against the resolved graph.
+func (s *SubRequest) validate() error {
+	if s.Proto != ProtoVersion {
+		return fmt.Errorf("shard: protocol version %d not supported (this end speaks %d)", s.Proto, ProtoVersion)
+	}
+	if s.Dataset == "" {
+		return fmt.Errorf("shard: missing dataset")
+	}
+	if s.Delta < 0 {
+		return fmt.Errorf("shard: negative delta %d", s.Delta)
+	}
+	if s.Shards < 1 || s.Shard < 0 || s.Shard >= s.Shards {
+		return fmt.Errorf("shard: shard %d/%d out of range", s.Shard, s.Shards)
+	}
+	switch s.Kind {
+	case server.KindCount:
+	case server.KindStar4, server.KindPath4, server.KindSig:
+		if s.Lo < 0 || s.Hi < s.Lo {
+			return fmt.Errorf("shard: invalid range [%d, %d)", s.Lo, s.Hi)
+		}
+	default:
+		return fmt.Errorf("shard: unknown kind %q", s.Kind)
+	}
+	return nil
+}

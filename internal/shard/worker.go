@@ -1,0 +1,160 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"hare/internal/higher"
+	"hare/internal/nullmodel"
+	"hare/internal/server"
+	"hare/internal/temporal"
+)
+
+// GraphSource resolves dataset names to loaded graphs and lists what is
+// registered. *server.Server satisfies it, so a worker process shares one
+// registry (and its load-once, LRU, singleflight behavior) between its
+// public /v1 endpoints and its shard endpoints.
+type GraphSource interface {
+	Preload(name string) (*temporal.Graph, error)
+	Datasets() []server.DatasetInfo
+}
+
+// Worker serves the shard side of the wire protocol: it resolves each
+// sub-request's dataset from Graphs, computes the partial for the range
+// it was handed, and answers with exact integer payloads. Count
+// sub-requests delegate to Backend so a routed count is computed by the
+// very same code path a single-node hared would use.
+type Worker struct {
+	// Graphs resolves datasets (required).
+	Graphs GraphSource
+	// Backend computes count sub-requests (required) — wire the same
+	// in-process backend a single-node server uses.
+	Backend server.Backend
+	// Version is reported by /shard/v1/info.
+	Version string
+}
+
+// Handler returns the handler serving PathCompute and PathInfo. Mount it
+// at the server root (it matches only the /shard/ paths).
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathCompute, w.handleCompute)
+	mux.HandleFunc(PathInfo, w.handleInfo)
+	return mux
+}
+
+func writeWireError(rw http.ResponseWriter, status int, err error, proto int) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	json.NewEncoder(rw).Encode(wireError{Error: err.Error(), Proto: proto})
+}
+
+func (w *Worker) handleCompute(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeWireError(rw, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method), 0)
+		return
+	}
+	var sub SubRequest
+	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+		writeWireError(rw, http.StatusBadRequest, fmt.Errorf("decoding sub-request: %w", err), 0)
+		return
+	}
+	if sub.Proto != ProtoVersion {
+		// 426 Upgrade Required: version negotiation is explicit, never a
+		// silent best-effort answer from mismatched merge semantics.
+		writeWireError(rw, http.StatusUpgradeRequired,
+			fmt.Errorf("protocol version %d not supported (this worker speaks %d)", sub.Proto, ProtoVersion), ProtoVersion)
+		return
+	}
+	if err := sub.validate(); err != nil {
+		writeWireError(rw, http.StatusBadRequest, err, ProtoVersion)
+		return
+	}
+	g, err := w.Graphs.Preload(sub.Dataset)
+	if err != nil {
+		status := http.StatusInternalServerError
+		var unknown *server.UnknownDatasetError
+		if errors.As(err, &unknown) {
+			status = http.StatusNotFound
+		}
+		writeWireError(rw, status, err, ProtoVersion)
+		return
+	}
+	if g.NumNodes() != sub.Nodes || g.NumEdges() != sub.Edges {
+		// 409 Conflict: this worker's replica is not the coordinator's
+		// graph. A partial from a different graph would merge silently
+		// into a wrong answer — refuse instead.
+		writeWireError(rw, http.StatusConflict,
+			fmt.Errorf("dataset %s shape mismatch: worker has %d nodes/%d edges, coordinator sent %d/%d",
+				sub.Dataset, g.NumNodes(), g.NumEdges(), sub.Nodes, sub.Edges), ProtoVersion)
+		return
+	}
+
+	p := Partial{Proto: ProtoVersion, Kind: sub.Kind, Shard: sub.Shard}
+	delta := temporal.Timestamp(sub.Delta)
+	switch sub.Kind {
+	case server.KindCount:
+		ans, err := w.Backend.Count(r.Context(), g, server.Request{
+			Kind:    server.KindCount,
+			Dataset: sub.Dataset,
+			Delta:   sub.Delta,
+			Motif:   sub.Motif,
+			Workers: sub.Workers,
+			Thrd:    sub.Thrd,
+			ThrdSet: sub.ThrdSet,
+		})
+		if err != nil {
+			writeWireError(rw, http.StatusBadRequest, err, ProtoVersion)
+			return
+		}
+		p.Count = &CountPartial{Matrix: ans.Matrix, Workers: ans.Workers, DegreeThreshold: ans.DegreeThreshold}
+	case server.KindStar4:
+		c := higher.CountStar4Range(g, delta, w.higherOpts(sub), sub.Lo, sub.Hi)
+		p.Star4 = &c
+	case server.KindPath4:
+		c := higher.CountPath4Range(g, delta, w.higherOpts(sub), sub.Lo, sub.Hi)
+		p.Path4 = &c
+	case server.KindSig:
+		model, err := nullmodel.ParseModel(sub.Model)
+		if err != nil {
+			writeWireError(rw, http.StatusBadRequest, err, ProtoVersion)
+			return
+		}
+		ms, err := nullmodel.SampleMatrices(g, delta, model, sub.Seed, sub.Lo, sub.Hi, sub.Workers)
+		if err != nil {
+			writeWireError(rw, http.StatusBadRequest, err, ProtoVersion)
+			return
+		}
+		p.Sig = ms
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(&p)
+}
+
+// higherOpts maps a sub-request's scheduling hints onto the higher-order
+// counters' options, matching the single-node backend's interpretation
+// (an unset or zero threshold selects the automatic heuristic).
+func (w *Worker) higherOpts(sub SubRequest) higher.Options {
+	opts := higher.Options{Workers: sub.Workers}
+	if sub.ThrdSet && sub.Thrd != 0 {
+		opts.DegreeThreshold = sub.Thrd
+	}
+	return opts
+}
+
+func (w *Worker) handleInfo(rw http.ResponseWriter, r *http.Request) {
+	infos := w.Graphs.Datasets()
+	names := make([]string, len(infos))
+	for i, d := range infos {
+		names[i] = d.Name
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(Info{
+		Proto:    ProtoVersion,
+		Version:  w.Version,
+		Role:     "worker",
+		Datasets: names,
+	})
+}

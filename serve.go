@@ -1,6 +1,7 @@
 package hare
 
 import (
+	"context"
 	"fmt"
 
 	"hare/internal/higher"
@@ -53,8 +54,11 @@ type DatasetInfo = server.DatasetInfo
 // ".hare" path loads the snapshot directly, falling back to a text
 // sibling only when the snapshot's format version is newer than this
 // binary supports. logf (nil to discard) receives the fallback log lines;
-// opts applies to text parsing only.
-func FileLoader(path string, opts LoadOptions, logf func(format string, args ...any)) func() (*Graph, error) {
+// opts applies to text parsing only. The loader also reports which branch
+// produced the graph ("snapshot <path>", "snapshot-sibling <snap>",
+// "text <path>", "text-fallback <cand>") — register it with
+// Server.RegisterSourced and /v1/datasets shows the provenance.
+func FileLoader(path string, opts LoadOptions, logf func(format string, args ...any)) func() (*Graph, string, error) {
 	return server.FileLoader(path, opts, logf)
 }
 
@@ -67,8 +71,17 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	return server.New(opts)
 }
 
+// LocalBackend returns the in-process counting backend NewServer installs
+// when ServerOptions.Backend is nil. A shard worker (internal/shard)
+// plugs it in so routed count sub-requests run the exact code path a
+// single-node hared uses; a coordinator replaces it with the
+// scatter/gather backend instead.
+func LocalBackend() server.Backend { return libraryBackend{} }
+
 // libraryBackend adapts the public counting APIs to the server's Backend
-// seam, so served answers are bit-identical to direct library calls.
+// seam, so served answers are bit-identical to direct library calls. It
+// computes in-process and ignores the flight context (the admission
+// semaphore already handled cancellation before compute starts).
 type libraryBackend struct{}
 
 func (libraryBackend) options(req server.Request) []Option {
@@ -79,7 +92,7 @@ func (libraryBackend) options(req server.Request) []Option {
 	return opts
 }
 
-func (b libraryBackend) Count(g *temporal.Graph, req server.Request) (server.CountAnswer, error) {
+func (b libraryBackend) Count(_ context.Context, g *temporal.Graph, req server.Request) (server.CountAnswer, error) {
 	opts := b.options(req)
 	if req.Motif != "" {
 		l, err := ParseLabel(req.Motif)
@@ -99,15 +112,15 @@ func (b libraryBackend) Count(g *temporal.Graph, req server.Request) (server.Cou
 	}, nil
 }
 
-func (b libraryBackend) Star4(g *temporal.Graph, req server.Request) (higher.Star4Counter, error) {
+func (b libraryBackend) Star4(_ context.Context, g *temporal.Graph, req server.Request) (higher.Star4Counter, error) {
 	return CountStar4(g, Timestamp(req.Delta), b.options(req)...)
 }
 
-func (b libraryBackend) Path4(g *temporal.Graph, req server.Request) (higher.PathCounter, error) {
+func (b libraryBackend) Path4(_ context.Context, g *temporal.Graph, req server.Request) (higher.PathCounter, error) {
 	return CountPath4(g, Timestamp(req.Delta), b.options(req)...)
 }
 
-func (b libraryBackend) Significance(g *temporal.Graph, req server.Request) (*nullmodel.Report, error) {
+func (b libraryBackend) Significance(_ context.Context, g *temporal.Graph, req server.Request) (*nullmodel.Report, error) {
 	model, err := ParseNullModel(req.Model)
 	if err != nil {
 		return nil, fmt.Errorf("model: %w", err)
