@@ -3,19 +3,23 @@
 // Usage:
 //
 //	harecount -input edges.txt [-delta 600] [-workers 0] [-thrd 0]
-//	          [-motif M26] [-relabel] [-comma] [-stats] [-check]
-//	          [-load-workers 0]
+//	          [-motif M26] [-query "a->b; a->c; a->d"] [-relabel]
+//	          [-comma] [-stats] [-check] [-load-workers 0]
 //
 // The input format is one "u v t" edge per line (whitespace or, with
 // -comma, comma separated; '#'/'%' comments ignored; ".gz" transparent).
-// With -motif only that motif's count is printed; otherwise the full 6×6
-// matrix is written in the paper's Fig. 2 layout.
+// With -motif only that motif's count is printed; with -query a 3-edge
+// motif spec (compact text or JSON form, see docs/QUERY.md) is compiled
+// and counted; otherwise the full 6×6 matrix is written in the paper's
+// Fig. 2 layout.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"hare"
 	"hare/internal/buildinfo"
@@ -28,6 +32,7 @@ func main() {
 		workers = flag.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = sequential FAST)")
 		thrd    = flag.Int("thrd", 0, "HARE degree threshold (0 = auto top-20, negative = flat)")
 		only    = flag.String("motif", "", "print only this motif's count (e.g. M26)")
+		queryF  = flag.String("query", "", `count a 3-edge motif spec (e.g. "a->b; b->c; c->a"; JSON form ok)`)
 		relabel = flag.Bool("relabel", false, "relabel arbitrary node ids to a dense space")
 		comma   = flag.Bool("comma", false, "treat commas as field separators")
 		stats   = flag.Bool("stats", false, "print graph statistics before counting")
@@ -55,7 +60,17 @@ func main() {
 	if *loadW < 0 {
 		usageErr("-load-workers must be >= 0 (got %d; 0 = all CPUs)", *loadW)
 	}
-	if err := run(*input, *delta, *workers, *thrd, *only, *relabel, *comma, *stats, *check, *loadW); err != nil {
+	var spec *hare.MotifSpec
+	if *queryF != "" {
+		if *only != "" {
+			usageErr("-query and -motif are mutually exclusive")
+		}
+		var err error
+		if spec, err = parseQuerySpec(*queryF); err != nil {
+			usageErr("-query: %v", err)
+		}
+	}
+	if err := run(*input, *delta, *workers, *thrd, *only, spec, *relabel, *comma, *stats, *check, *loadW); err != nil {
 		fmt.Fprintln(os.Stderr, "harecount:", err)
 		os.Exit(1)
 	}
@@ -68,7 +83,16 @@ func usageErr(format string, args ...any) {
 	os.Exit(2)
 }
 
-func run(input string, delta int64, workers, thrd int, only string, relabel, comma, stats, check bool, loadWorkers int) error {
+// parseQuerySpec accepts both spec forms the server does: a leading '{'
+// selects the JSON encoding, anything else the compact text grammar.
+func parseQuerySpec(q string) (*hare.MotifSpec, error) {
+	if strings.HasPrefix(strings.TrimSpace(q), "{") {
+		return hare.ParseSpecJSON([]byte(q))
+	}
+	return hare.ParseSpec(q)
+}
+
+func run(input string, delta int64, workers, thrd int, only string, spec *hare.MotifSpec, relabel, comma, stats, check bool, loadWorkers int) error {
 	g, err := hare.LoadFile(input, hare.LoadOptions{Relabel: relabel, Comma: comma, Workers: loadWorkers})
 	if err != nil {
 		return err
@@ -86,6 +110,15 @@ func run(input string, delta int64, workers, thrd int, only string, relabel, com
 	opts := []hare.Option{hare.WithWorkers(workers)}
 	if thrd != 0 {
 		opts = append(opts, hare.WithDegreeThreshold(thrd))
+	}
+	if spec != nil {
+		start := time.Now()
+		n, err := hare.CountMotif(g, spec, delta, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s = %d (in %v)\n", spec.Canonical(), n, time.Since(start).Round(time.Microsecond))
+		return nil
 	}
 	var label hare.Label
 	if only != "" {

@@ -1,0 +1,87 @@
+package main
+
+// Process-level checks for the -query flag: a spec counted through the
+// real binary prints the canonical spelling and the exact count, and
+// every flag-validation failure — bad spec included — exits 2 with usage
+// text, the convention the other commands follow. Skipped under -short
+// (each case execs the compiled binary).
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildHarecount compiles the command once per test into a temp dir.
+func buildHarecount(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "harecount")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// triangleFile writes one temporal triangle: 0→1→2→0 within δ=600.
+func triangleFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "edges.txt")
+	if err := os.WriteFile(path, []byte("0 1 10\n1 2 20\n2 0 30\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestQueryFlagCountsAndCanonicalizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary e2e skipped under -short")
+	}
+	bin := buildHarecount(t)
+	edges := triangleFile(t)
+	// A rotated spelling of the triangle: the output must carry the
+	// canonical form and the exact count (one instance in this file).
+	out, err := exec.Command(bin, "-input", edges, "-delta", "600",
+		"-query", "y->z, z->x, x->y").CombinedOutput()
+	if err != nil {
+		t.Fatalf("harecount -query: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "a->b; b->c; c->a = 1") {
+		t.Errorf("output missing canonical spec and count:\n%s", out)
+	}
+	// The JSON form takes the same path.
+	out, err = exec.Command(bin, "-input", edges, "-delta", "600",
+		"-query", `{"edges":[{"src":"a","dst":"b"},{"src":"b","dst":"c"},{"src":"c","dst":"a"}]}`).CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "= 1") {
+		t.Errorf("JSON spec: %v\n%s", err, out)
+	}
+}
+
+func TestQueryFlagValidationExitsTwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary e2e skipped under -short")
+	}
+	bin := buildHarecount(t)
+	edges := triangleFile(t)
+	cases := [][]string{
+		{"-input", edges, "-query", "a->a; a->b; b->a"},                  // self-loop
+		{"-input", edges, "-query", "nonsense"},                          // syntax
+		{"-input", edges, "-query", "a->b; b->c"},                        // too few edges
+		{"-input", edges, "-query", "a->b; b->c; c->a", "-motif", "M26"}, // exclusive flags
+	}
+	for _, args := range cases {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+			t.Errorf("harecount %v: want exit 2, got %v\n%s", args, err, out)
+			continue
+		}
+		if !strings.Contains(string(out), "Usage") && !strings.Contains(string(out), "-query") {
+			t.Errorf("harecount %v: rejection missing usage text:\n%s", args, out)
+		}
+	}
+}

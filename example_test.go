@@ -46,6 +46,28 @@ func ExampleCountStar4() {
 	// 4-node stars: 1
 }
 
+// Count an arbitrary 3-edge motif from a compact spec: variable names
+// and spelling are free-form — specs canonicalize, so the rotated
+// "y->z; z->x; x->y" is the same triangle and the same count.
+func ExampleCountMotif() {
+	g := hare.FromEdges([]hare.Edge{
+		{From: 0, To: 1, Time: 10},
+		{From: 1, To: 2, Time: 20},
+		{From: 2, To: 0, Time: 30},
+	})
+	spec, err := hare.ParseSpec("y->z; z->x; x->y")
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := hare.CountMotif(g, spec, 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d\n", spec.Canonical(), n)
+	// Output:
+	// a->b; b->c; c->a: 1
+}
+
 // Online counting: feed edges in time order, read exact counts at any
 // point. Counts agree bit-for-bit with a batch Count of the same edges.
 func ExampleNewStreamCounter() {

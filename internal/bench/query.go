@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+
+	"hare/internal/higher"
+	"hare/internal/motif"
+	"hare/internal/query"
+	"hare/internal/temporal"
+)
+
+// queryMeasurement is one dataset's query-compiler profile: the compiled
+// all-out star plan ("a->b; a->c; a->d") against the hand-tuned
+// CountStar4 it lowers to, and the generic edge-pivot executor on a
+// temporal triangle ("a->b; b->c; c->a") — a shape no hand-tuned counter
+// covers, so its only baseline is its own throughput.
+type queryMeasurement struct {
+	Star4NsOp    int64
+	HandNsOp     int64
+	Overhead     float64
+	TriangleNsOp int64
+}
+
+// measureQuery times both compiled-plan families with the default
+// scheduling options (all CPUs, auto threshold) and cross-checks the
+// star plan's count against the hand-tuned counter cell — a divergence
+// fails the bench rather than publishing a wrong-fast number. The star
+// overhead ratio (compiled / hand-tuned) is the price of generality for
+// a spec the compiler can lower to the specialized machinery; it targets
+// <= 1.15 (a center plan is one CountStar4Range call plus one cell read,
+// so anything above noise indicates a lowering regression).
+func measureQuery(g *temporal.Graph, delta temporal.Timestamp, runs int) (queryMeasurement, error) {
+	var m queryMeasurement
+	opts := query.Options{}
+
+	star, err := query.ParseSpec("a->b; a->c; a->d")
+	if err != nil {
+		return queryMeasurement{}, err
+	}
+	plan := query.Compile(star)
+	var compiled uint64
+	m.Star4NsOp = bestOf(runs, func() { compiled = plan.Execute(g, delta, opts) })
+	var hand higher.Star4Counter
+	m.HandNsOp = bestOf(runs, func() { hand = higher.CountStar4(g, delta, opts) })
+	if want := hand.At(motif.Out, motif.Out, motif.Out); compiled != want {
+		return queryMeasurement{}, fmt.Errorf("query bench: compiled star plan = %d, hand-tuned cell = %d", compiled, want)
+	}
+	if m.HandNsOp > 0 {
+		m.Overhead = float64(m.Star4NsOp) / float64(m.HandNsOp)
+	}
+
+	tri, err := query.ParseSpec("a->b; b->c; c->a")
+	if err != nil {
+		return queryMeasurement{}, err
+	}
+	triPlan := query.Compile(tri)
+	m.TriangleNsOp = bestOf(runs, func() { triPlan.Execute(g, delta, opts) })
+	return m, nil
+}

@@ -28,7 +28,11 @@ import (
 // snapshot file vs parsing the text edge list). Schema 7 added the
 // shard_* fields (scatter/gather /v1/star4 latency through 1/2/4
 // single-threaded shard workers over loopback HTTP, docs/SHARDING.md).
-const ReportSchema = 7
+// Schema 8 added the query_* fields (the motif-spec compiler of
+// docs/QUERY.md: a compiled star plan against the hand-tuned CountStar4
+// it lowers to, and the generic edge-pivot executor on a temporal
+// triangle).
+const ReportSchema = 8
 
 // DatasetReport holds one dataset's measured numbers. Timings are
 // best-of-Runs wall times; rates derive from them.
@@ -113,6 +117,17 @@ type DatasetReport struct {
 	ShardStar4NsOp4    int64   `json:"shard_star4_4w_ns_op"`
 	ShardStar4Speedup2 float64 `json:"shard_star4_speedup_2w"`
 	ShardStar4Speedup4 float64 `json:"shard_star4_speedup_4w"`
+
+	// Query: the motif-spec compiler (docs/QUERY.md). The compiled
+	// all-out star spec lowers to the hand-tuned CountStar4 machinery;
+	// QueryStar4Overhead = query_star4_ns_op / star4 hand-tuned ns/op and
+	// targets <= 1.15 — the allowed price of generality for a spec with a
+	// specialized lowering. The temporal triangle exercises the generic
+	// edge-pivot executor, which has no hand-tuned counterpart.
+	QueryStar4NsOp     int64   `json:"query_star4_ns_op"`
+	QueryStar4HandNsOp int64   `json:"query_star4_hand_ns_op"`
+	QueryStar4Overhead float64 `json:"query_star4_overhead"`
+	QueryTriangleNsOp  int64   `json:"query_triangle_ns_op"`
 }
 
 // Report is the machine-readable benchmark report emitted by
@@ -259,6 +274,15 @@ func JSONReport(opts Options, runs int) (*Report, error) {
 		d.ShardStar4NsOp4 = shm.Star4NsOp4
 		d.ShardStar4Speedup2 = shm.Speedup2
 		d.ShardStar4Speedup4 = shm.Speedup4
+
+		qm, err := measureQuery(g, delta, runs)
+		if err != nil {
+			return nil, err
+		}
+		d.QueryStar4NsOp = qm.Star4NsOp
+		d.QueryStar4HandNsOp = qm.HandNsOp
+		d.QueryStar4Overhead = qm.Overhead
+		d.QueryTriangleNsOp = qm.TriangleNsOp
 
 		rep.Datasets = append(rep.Datasets, d)
 	}

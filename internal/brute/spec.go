@@ -1,0 +1,67 @@
+package brute
+
+import "hare/internal/temporal"
+
+// SpecEdge is one directed edge of a motif spec, endpoints given as node
+// *variable* indices. It mirrors internal/query's edge type without
+// importing it: brute is the oracle for every counting package, including
+// the ones query compiles onto, and those packages' in-package tests import
+// brute — an import of query here would close that cycle. Callers hand in
+// query's Spec.Edges() (canonicalized or not; the count is invariant under
+// variable renaming).
+type SpecEdge struct {
+	Src, Dst int
+}
+
+// CountSpec exhaustively counts the instances of a 3-edge motif spec: the
+// chronologically ordered edge triples (i < j < k by EdgeID, t_k − t_i ≤ δ)
+// admitting an injective assignment of the spec's node variables such that
+// the spec's n-th listed edge is the triple's n-th edge with matching
+// direction. It shares nothing with the compiled plans — no windows, no
+// pivots, no canonicalization — only the triple scan above: the independent
+// reference the query compiler is validated against.
+func CountSpec(g *temporal.Graph, delta temporal.Timestamp, spec [3]SpecEdge) uint64 {
+	src, dst, ts := g.Src(), g.Dst(), g.Times()
+	var count uint64
+	for i := 0; i < len(ts); i++ {
+		for j := i + 1; j < len(ts); j++ {
+			if ts[j]-ts[i] > delta {
+				break
+			}
+			for k := j + 1; k < len(ts); k++ {
+				if ts[k]-ts[i] > delta {
+					break
+				}
+				if unifies(spec, [3]int{i, j, k}, src, dst) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// unifies reports whether binding the spec's slots to the given edge rows
+// yields a consistent, injective variable assignment.
+func unifies(spec [3]SpecEdge, rows [3]int, src, dst []temporal.NodeID) bool {
+	var bind [8]temporal.NodeID // variable -> node, while set
+	var set [8]bool
+	assign := func(v int, node temporal.NodeID) bool {
+		if set[v] {
+			return bind[v] == node
+		}
+		for u, ok := range set {
+			if ok && bind[u] == node {
+				return false // injectivity: two variables, one node
+			}
+		}
+		bind[v], set[v] = node, true
+		return true
+	}
+	for slot, e := range spec {
+		if !assign(e.Src, src[rows[slot]]) || !assign(e.Dst, dst[rows[slot]]) {
+			return false
+		}
+	}
+	return true
+}

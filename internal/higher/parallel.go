@@ -35,6 +35,11 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// EffectiveWorkers resolves Workers to the goroutine count a run actually
+// uses (<= 0 selects GOMAXPROCS). Callers sizing per-worker accumulators
+// for ForEdgesRange need the same resolution the scheduler applies.
+func (o Options) EffectiveWorkers() int { return o.workers() }
+
 func (o Options) chunk() int {
 	if o.ChunkSize > 0 {
 		return o.ChunkSize
@@ -211,22 +216,44 @@ func CountPath4(g *temporal.Graph, delta temporal.Timestamp, opts Options) PathC
 // IDs sum to CountPath4's full counter — the per-shard work unit of the
 // scatter/gather serving path (internal/shard).
 func CountPath4Range(g *temporal.Graph, delta temporal.Timestamp, opts Options, lo, hi int) PathCounter {
+	var total PathCounter
+	perW := make([]PathCounter, opts.workers())
+	ForEdgesRange(g, opts, lo, hi, func(w int, id temporal.EdgeID) {
+		countPathsMiddle(g, id, delta, &perW[w])
+	})
+	for w := range perW {
+		total.Add(&perW[w])
+	}
+	return total
+}
+
+// ForEdgesRange schedules body exactly once per edge ID in [lo, hi)
+// (clamped to [0, NumEdges)) with the two-stage machinery the path counter
+// established: light edges are pulled in dynamic chunks, while edges with a
+// heavy endpoint (degree > thrd) are scheduled one per work unit so no
+// worker inherits a contiguous block of hubs. body runs concurrently with
+// itself; the worker id indexes [0, opts.EffectiveWorkers()) so callers can
+// accumulate into per-worker partials. With one worker, body runs on the
+// caller's goroutine in ascending ID order. Exactly-once delivery is what
+// keeps per-edge tallies bit-identical at any worker count — both
+// CountPath4Range and the query compiler's edge-pivot plans
+// (internal/query) schedule through this function.
+func ForEdgesRange(g *temporal.Graph, opts Options, lo, hi int, body func(worker int, id temporal.EdgeID)) {
 	if lo < 0 {
 		lo = 0
 	}
 	if hi > g.NumEdges() {
 		hi = g.NumEdges()
 	}
-	var total PathCounter
 	if lo >= hi {
-		return total
+		return
 	}
 	workers := opts.workers()
 	if workers == 1 {
 		for id := lo; id < hi; id++ {
-			countPathsMiddle(g, temporal.EdgeID(id), delta, &total)
+			body(0, temporal.EdgeID(id))
 		}
-		return total
+		return
 	}
 	thrd := effThrd(g, opts)
 	src, dst := g.Src(), g.Dst()
@@ -238,19 +265,14 @@ func CountPath4Range(g *temporal.Graph, delta temporal.Timestamp, opts Options, 
 			light = append(light, temporal.EdgeID(id))
 		}
 	}
-	perW := make([]PathCounter, workers)
 	engine.Dispatch(workers, opts.chunk(), len(light), func(w, a, b int) {
 		for _, id := range light[a:b] {
-			countPathsMiddle(g, id, delta, &perW[w])
+			body(w, id)
 		}
 	})
 	engine.Dispatch(workers, 1, len(heavy), func(w, a, b int) {
 		for _, id := range heavy[a:b] {
-			countPathsMiddle(g, id, delta, &perW[w])
+			body(w, id)
 		}
 	})
-	for w := range perW {
-		total.Add(&perW[w])
-	}
-	return total
 }

@@ -138,6 +138,12 @@ func TestOptionsDefaults(t *testing.T) {
 	if (Options{}).chunk() != 64 || (Options{ChunkSize: 7}).chunk() != 7 {
 		t.Fatal("chunk defaults wrong")
 	}
+	// EffectiveWorkers is the exported resolution callers sizing
+	// per-worker accumulators for ForEdgesRange rely on — it must agree
+	// with the scheduler's own.
+	if (Options{Workers: 3}).EffectiveWorkers() != 3 || (Options{}).EffectiveWorkers() != (Options{}).workers() {
+		t.Fatal("EffectiveWorkers diverges from the scheduler's resolution")
+	}
 	g := temporal.FromEdges([]temporal.Edge{{From: 0, To: 1, Time: 0}})
 	if effThrd(g, Options{DegreeThreshold: 5}) != 5 {
 		t.Fatal("explicit threshold ignored")

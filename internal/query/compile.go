@@ -1,0 +1,164 @@
+package query
+
+import (
+	"hare/internal/higher"
+	"hare/internal/motif"
+)
+
+// Options steers plan scheduling with the exact knobs of the hand-tuned
+// counters (internal/higher): Workers, DegreeThreshold, ChunkSize. It is an
+// alias, not a copy — a caller tuning CountStar4 and a compiled plan with
+// one Options value gets identical scheduling in both.
+type Options = higher.Options
+
+// PlanKind is the pivot family a compiled plan iterates over.
+type PlanKind int
+
+const (
+	// PlanCenter pivots on center nodes: the spec is a 4-node star (one
+	// variable incident to every edge), and the plan delegates to the
+	// hand-tuned CountStar4Range machinery, reading one counter cell. The
+	// range domain is node IDs.
+	PlanCenter PlanKind = iota
+	// PlanEdge pivots on graph edges bound to one spec edge: the generic
+	// ordered-edge-window scan executor. The range domain is edge IDs.
+	PlanEdge
+)
+
+// String names the pivot for responses and reports.
+func (k PlanKind) String() string {
+	if k == PlanCenter {
+		return "center"
+	}
+	return "edge"
+}
+
+// step is one compiled enumeration level of an edge-pivot plan: scan the δ
+// window of an already-bound anchor node's chronological sequence for
+// candidate graph edges filling spec edge slot.
+type step struct {
+	slot       int   // spec edge slot this step binds
+	anchor     int   // bound variable whose Seq is scanned
+	wantOut    bool  // candidate direction: true iff anchor is the slot's Src
+	other      int   // variable at the candidate's far end
+	otherBound bool  // far end already bound → equality filter; else binds it
+	distinct   []int // bound variables the far end must differ from (injectivity)
+	hoist      bool  // anchor is bound by the pivot → window computed once per pivot edge
+}
+
+// Plan is a compiled counting plan. Plans are immutable and safe for
+// concurrent use; obtain one from Compile. Both pivot families partition
+// the count over a contiguous ID domain (nodes or edges), so any plan is
+// range-splittable for the scatter/gather tier: partials from a partition
+// of [0, Domain(g)) sum — exactly, in any order — to Execute's total.
+type Plan struct {
+	spec *Spec
+	kind PlanKind
+
+	// PlanCenter: per-temporal-slot direction relative to the center.
+	dirs [SpecEdges]motif.Dir
+
+	// PlanEdge: the spec edge bound to the pivot graph edge, then the two
+	// enumeration levels in binding order.
+	pivotSlot int
+	steps     [SpecEdges - 1]step
+}
+
+// Spec returns the plan's (canonicalized) spec.
+func (p *Plan) Spec() *Spec { return p.spec }
+
+// Splittable reports whether the plan partitions its count over a
+// contiguous pivot ID range (ExecuteRange partials over a partition of
+// [0, Domain) sum to the total). Both current plan kinds do; the shard
+// tier checks this and whole-routes a plan that does not, via rendezvous
+// hashing, the way /v1/count is routed.
+func (p *Plan) Splittable() bool { return true }
+
+// Kind returns the pivot family.
+func (p *Plan) Kind() PlanKind { return p.kind }
+
+// Compile lowers a spec to a counting plan. Every spec accepted by
+// ParseSpec compiles: a 4-node spec with a center variable becomes a
+// PlanCenter delegating to the star machinery, everything else a PlanEdge
+// (connectivity guarantees the greedy binding order below always finds an
+// anchored next slot).
+func Compile(s *Spec) *Plan {
+	p := &Plan{spec: s}
+	if c, ok := s.center(); ok && s.nodes == MaxNodes {
+		p.kind = PlanCenter
+		for i, e := range s.edges {
+			if e.Src == c {
+				p.dirs[i] = motif.Out
+			} else {
+				p.dirs[i] = motif.In
+			}
+		}
+		return p
+	}
+	p.kind = PlanEdge
+	p.pivotSlot = pickPivot(s)
+	pe := s.edges[p.pivotSlot]
+	bound := []int{pe.Src, pe.Dst}
+	var done [SpecEdges]bool
+	done[p.pivotSlot] = true
+	for level := 0; level < SpecEdges-1; level++ {
+		slot := nextSlot(s, done, bound)
+		e := s.edges[slot]
+		st := step{slot: slot}
+		if contains(bound, e.Src) {
+			st.anchor, st.wantOut, st.other = e.Src, true, e.Dst
+		} else {
+			st.anchor, st.wantOut, st.other = e.Dst, false, e.Src
+		}
+		st.hoist = st.anchor == pe.Src || st.anchor == pe.Dst
+		if contains(bound, st.other) {
+			st.otherBound = true
+		} else {
+			st.distinct = append([]int(nil), bound...)
+			bound = append(bound, st.other)
+		}
+		done[slot] = true
+		p.steps[level] = st
+	}
+	return p
+}
+
+// pickPivot selects the spec edge sharing a variable with the most other
+// edges (ties to the lowest slot): the structural middle of a path, any
+// edge of a triangle. Anchoring both enumeration levels directly to the
+// pivot's endpoints keeps their δ windows hoistable out of the scan loops.
+func pickPivot(s *Spec) int {
+	best, bestScore := 0, -1
+	for i, e := range s.edges {
+		score := 0
+		for j, o := range s.edges {
+			if j != i && (o.Src == e.Src || o.Src == e.Dst || o.Dst == e.Src || o.Dst == e.Dst) {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// nextSlot returns the lowest unprocessed slot sharing a variable with the
+// bound set. Connected specs always have one.
+func nextSlot(s *Spec, done [SpecEdges]bool, bound []int) int {
+	for i, e := range s.edges {
+		if !done[i] && (contains(bound, e.Src) || contains(bound, e.Dst)) {
+			return i
+		}
+	}
+	panic("query: disconnected spec reached the compiler") // unreachable: newSpec validates
+}
+
+func contains(vars []int, v int) bool {
+	for _, x := range vars {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,309 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hare/internal/brute"
+	"hare/internal/higher"
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+// Corpus generators mirror internal/higher's conventions: uniform random
+// multigraphs and hub-skewed graphs (node 0 a hub) so the light/heavy
+// scheduling split is exercised on both sides.
+
+func randomGraph(r *rand.Rand, nodes, edges int, span int64) *temporal.Graph {
+	b := temporal.NewBuilder(edges)
+	for i := 0; i < edges; i++ {
+		u := temporal.NodeID(r.Intn(nodes))
+		v := temporal.NodeID(r.Intn(nodes))
+		if u == v {
+			v = (v + 1) % temporal.NodeID(nodes)
+		}
+		_ = b.AddEdge(u, v, r.Int63n(span))
+	}
+	return b.Build()
+}
+
+func hubGraph(r *rand.Rand, nodes, edges, hubEdges int, span int64) *temporal.Graph {
+	b := temporal.NewBuilder(edges + hubEdges)
+	for i := 0; i < edges; i++ {
+		u := temporal.NodeID(r.Intn(nodes))
+		v := temporal.NodeID(r.Intn(nodes))
+		if u == v {
+			v = (v + 1) % temporal.NodeID(nodes)
+		}
+		_ = b.AddEdge(u, v, r.Int63n(span))
+	}
+	for i := 0; i < hubEdges; i++ {
+		v := temporal.NodeID(1 + r.Intn(nodes-1))
+		if r.Intn(2) == 0 {
+			_ = b.AddEdge(0, v, r.Int63n(span))
+		} else {
+			_ = b.AddEdge(v, 0, r.Int63n(span))
+		}
+	}
+	return b.Build()
+}
+
+// schedulingRegimes is the option matrix every exactness test runs under:
+// the 1/2/4-worker ladder plus the degree-threshold extremes.
+var schedulingRegimes = []Options{
+	{Workers: 1},
+	{Workers: 2},
+	{Workers: 4},
+	{Workers: 4, DegreeThreshold: 1, ChunkSize: 3}, // everything heavy, tiny chunks
+	{Workers: 4, DegreeThreshold: -1},              // heavy stage disabled
+}
+
+// bruteCount adapts a spec to the oracle's mirrored edge type.
+func bruteCount(g *temporal.Graph, delta temporal.Timestamp, s *Spec) uint64 {
+	var edges [SpecEdges]brute.SpecEdge
+	for i, e := range s.Edges() {
+		edges[i] = brute.SpecEdge{Src: e.Src, Dst: e.Dst}
+	}
+	return brute.CountSpec(g, delta, edges)
+}
+
+// starSpecText builds the 4-node star spec whose compiled plan must read
+// Star4Counter cell (d1, d2, d3).
+func starSpecText(d1, d2, d3 motif.Dir) string {
+	leaves := [3]string{"x", "y", "z"}
+	terms := make([]string, 0, 3)
+	for i, d := range [3]motif.Dir{d1, d2, d3} {
+		if d == motif.Out {
+			terms = append(terms, "c->"+leaves[i])
+		} else {
+			terms = append(terms, leaves[i]+"->c")
+		}
+	}
+	return strings.Join(terms, "; ")
+}
+
+// pathSpecText builds the 4-node path spec (nodes a-b-c-d, legs f = a-b,
+// m = b-c, g = c-d) whose roles have the given temporal ranks and
+// traversal directions (true = forward along a→b→c→d).
+func pathSpecText(rankF, rankM, rankG int, fwdF, fwdM, fwdG bool) string {
+	terms := make([]string, 3)
+	place := func(rank int, term string) { terms[rank] = term }
+	mk := func(fwd bool, from, to string) string {
+		if fwd {
+			return from + "->" + to
+		}
+		return to + "->" + from
+	}
+	place(rankF, mk(fwdF, "a", "b"))
+	place(rankM, mk(fwdM, "b", "c"))
+	place(rankG, mk(fwdG, "c", "d"))
+	return strings.Join(terms, "; ")
+}
+
+// Every 4-node star spec must compile to a center plan whose count is
+// bit-identical to the hand-tuned CountStar4's cell — at 1/2/4 workers and
+// both threshold extremes — and the eight cells must exhaust the counter.
+func TestCompiledStarMatchesCountStar4(t *testing.T) {
+	r := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 4; trial++ {
+		g := hubGraph(r, 5+r.Intn(10), 50+r.Intn(120), 50+r.Intn(50), 1+int64(r.Intn(40)))
+		delta := int64(1 + r.Intn(25))
+		want := higher.CountStar4(g, delta, higher.Options{Workers: 1})
+		var sum uint64
+		for d1 := motif.In; d1 <= motif.Out; d1++ {
+			for d2 := motif.In; d2 <= motif.Out; d2++ {
+				for d3 := motif.In; d3 <= motif.Out; d3++ {
+					s, err := ParseSpec(starSpecText(d1, d2, d3))
+					if err != nil {
+						t.Fatal(err)
+					}
+					p := Compile(s)
+					if p.Kind() != PlanCenter {
+						t.Fatalf("star spec %q compiled to %v, want center", s, p.Kind())
+					}
+					cell := want.At(d1, d2, d3)
+					sum += cell
+					for _, opts := range schedulingRegimes {
+						if got := p.Execute(g, delta, opts); got != cell {
+							t.Fatalf("spec %q opts %+v: count %d, want star cell (%v,%v,%v) = %d",
+								s, opts, got, d1, d2, d3, cell)
+						}
+					}
+					if got := bruteCount(g, delta, s); got != cell {
+						t.Fatalf("spec %q: brute %d, want %d", s, got, cell)
+					}
+				}
+			}
+		}
+		if sum != want.Total() {
+			t.Fatalf("star cells sum %d, want total %d", sum, want.Total())
+		}
+	}
+}
+
+// All 48 raw path patterns: a pattern and its reversal must canonicalize to
+// one spec text (one cache key per canonical path label), and the compiled
+// count must be bit-identical to CountPath4's canonical cell across the
+// scheduling regimes.
+func TestCompiledPathMatchesCountPath4(t *testing.T) {
+	r := rand.New(rand.NewSource(402))
+	g := hubGraph(r, 6+r.Intn(8), 60+r.Intn(80), 40+r.Intn(40), 30)
+	delta := int64(5 + r.Intn(20))
+	want := higher.CountPath4(g, delta, higher.Options{Workers: 1})
+
+	specByLabel := map[higher.PathLabel]*Spec{}
+	for _, ranks := range [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {2, 0, 1}, {1, 2, 0}, {2, 1, 0}} {
+		for bits := 0; bits < 8; bits++ {
+			fwdF, fwdM, fwdG := bits&4 != 0, bits&2 != 0, bits&1 != 0
+			label := higher.CanonicalPath(ranks[0], ranks[1], ranks[2], fwdF, fwdM, fwdG)
+			s, err := ParseSpec(pathSpecText(ranks[0], ranks[1], ranks[2], fwdF, fwdM, fwdG))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev, ok := specByLabel[label]; ok {
+				if prev.Canonical() != s.Canonical() {
+					t.Fatalf("label %v maps to two canonical specs: %q and %q", label, prev, s)
+				}
+				continue
+			}
+			specByLabel[label] = s
+		}
+	}
+	if len(specByLabel) != higher.NumPathMotifs {
+		t.Fatalf("got %d canonical path specs, want %d", len(specByLabel), higher.NumPathMotifs)
+	}
+	var sum uint64
+	for label, s := range specByLabel {
+		p := Compile(s)
+		if p.Kind() != PlanEdge {
+			t.Fatalf("path spec %q compiled to %v, want edge", s, p.Kind())
+		}
+		cell := want.At(label)
+		sum += cell
+		for _, opts := range schedulingRegimes {
+			if got := p.Execute(g, delta, opts); got != cell {
+				t.Fatalf("spec %q (label %v) opts %+v: count %d, want %d", s, label, opts, got, cell)
+			}
+		}
+	}
+	if sum != want.Total() {
+		t.Fatalf("path cells sum %d, want total %d", sum, want.Total())
+	}
+}
+
+// Novel shapes the hand-tuned counters cannot serve — the temporal
+// triangle, the cycle-closing 3-path, ping-pong multi-edges, 3-node stars —
+// must match the independent brute-force enumeration on both corpora at
+// every scheduling regime, and their range partials must sum to the total.
+func TestCompiledNovelShapesMatchBrute(t *testing.T) {
+	shapes := []string{
+		"a->b; b->c; c->a", // temporal triangle
+		"a->b; b->c; a->c", // 3-path closed by a shortcut (cycle closure)
+		"b->a; a->c; c->b", // triangle, mixed chronology
+		"a->b; b->a; a->b", // 2-node ping-pong
+		"a->b; a->b; b->a", // 2-node, repeated forward edge
+		"a->b; a->c; b->a", // 3-node star with a return edge
+		"a->b; c->b; b->a", // in-in-return
+		"a->b; b->c; c->d", // 4-node path (edge pivot, cross-checked twice)
+		"a->b; c->b; c->d", // 4-node path, middle reversed
+	}
+	r := rand.New(rand.NewSource(403))
+	for trial := 0; trial < 4; trial++ {
+		var g *temporal.Graph
+		if trial%2 == 0 {
+			g = randomGraph(r, 4+r.Intn(10), 60+r.Intn(120), 1+int64(r.Intn(40)))
+		} else {
+			g = hubGraph(r, 5+r.Intn(10), 40+r.Intn(80), 40+r.Intn(60), 1+int64(r.Intn(40)))
+		}
+		delta := int64(1 + r.Intn(25))
+		for _, text := range shapes {
+			s, err := ParseSpec(text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := Compile(s)
+			want := bruteCount(g, delta, s)
+			for _, opts := range schedulingRegimes {
+				if got := p.Execute(g, delta, opts); got != want {
+					t.Fatalf("trial %d spec %q opts %+v: count %d, brute %d", trial, s, opts, got, want)
+				}
+			}
+			// Partition the pivot domain three ways: partials must sum
+			// exactly (the shard tier's scatter/gather contract).
+			n := p.Domain(g)
+			opts := Options{Workers: 2}
+			var sum uint64
+			for _, cut := range [][2]int{{-3, n / 3}, {n / 3, 2 * n / 3}, {2 * n / 3, n + 5}} {
+				sum += p.ExecuteRange(g, delta, opts, cut[0], cut[1])
+			}
+			if sum != want {
+				t.Fatalf("spec %q: range partials sum %d, want %d", s, sum, want)
+			}
+		}
+	}
+}
+
+// Degenerate domains: empty ranges and graphs smaller than the spec.
+func TestExecuteDegenerate(t *testing.T) {
+	s, _ := ParseSpec("a->b; b->c; c->a")
+	p := Compile(s)
+	g := temporal.FromEdges([]temporal.Edge{{From: 0, To: 1, Time: 1}})
+	for _, opts := range []Options{{Workers: 1}, {Workers: 4}} {
+		if got := p.Execute(g, 10, opts); got != 0 {
+			t.Fatalf("1-edge graph: count %d, want 0", got)
+		}
+		if got := p.ExecuteRange(g, 10, opts, 5, 2); got != 0 {
+			t.Fatalf("inverted range: count %d, want 0", got)
+		}
+	}
+	star, _ := ParseSpec("a->b; a->c; a->d")
+	ps := Compile(star)
+	if got := ps.ExecuteRange(g, 10, Options{Workers: 2}, 3, 1); got != 0 {
+		t.Fatalf("inverted center range: count %d, want 0", got)
+	}
+}
+
+// A worked, hand-checkable instance: one triangle within δ, none outside.
+func TestTriangleKnown(t *testing.T) {
+	g := temporal.FromEdges([]temporal.Edge{
+		{From: 0, To: 1, Time: 1},
+		{From: 1, To: 2, Time: 2},
+		{From: 2, To: 0, Time: 3},
+		{From: 0, To: 2, Time: 9}, // wrong direction for the cycle
+	})
+	s, _ := ParseSpec("a->b; b->c; c->a")
+	p := Compile(s)
+	if got := p.Execute(g, 10, Options{Workers: 1}); got != 1 {
+		t.Fatalf("triangle count = %d, want 1", got)
+	}
+	if got := p.Execute(g, 1, Options{Workers: 1}); got != 0 {
+		t.Fatalf("δ=1 triangle count = %d, want 0", got)
+	}
+}
+
+func TestPlanKindString(t *testing.T) {
+	if PlanCenter.String() != "center" || PlanEdge.String() != "edge" {
+		t.Fatalf("PlanKind strings: %q, %q", PlanCenter, PlanEdge)
+	}
+}
+
+// Compile is deterministic and the plan reports its spec back.
+func TestCompileAccessors(t *testing.T) {
+	for _, text := range []string{"a->b; a->c; a->d", "a->b; b->c; c->a"} {
+		s, _ := ParseSpec(text)
+		p := Compile(s)
+		if p.Spec() != s {
+			t.Fatalf("Plan.Spec() lost the spec for %q", text)
+		}
+		if fmt.Sprint(p.Kind()) == "" {
+			t.Fatalf("empty kind for %q", text)
+		}
+		// The shard tier's partition guard: both plan kinds count over a
+		// contiguous pivot range, so every compiled plan is splittable.
+		if !p.Splittable() {
+			t.Fatalf("plan for %q not splittable", text)
+		}
+	}
+}

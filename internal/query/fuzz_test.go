@@ -1,0 +1,91 @@
+package query
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec drives both spec parsers with one input: the raw string
+// through ParseSpec, and (when it looks like JSON) through ParseSpecJSON.
+// The invariants mirror the snapshot fuzzer's contract (typed errors,
+// canonical re-encode): no panic, every rejection wraps exactly one typed
+// error, and every accepted spec canonicalizes to a fixed point that
+// round-trips through both the text and JSON forms.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"a->b; a->c; a->d",
+		"a->b; b->c; c->a",
+		"a->b; b->c; c->d",
+		"b<-a, c<-a, d<-a",
+		"hub->s1; hub->s2; hub->s3",
+		"a->b; a->b; a->b",
+		"a->a; a->b; b->c",
+		"a->b; c->d; e->a",
+		"a->b; c->d; a->b",
+		"a->b; ->c; c->d",
+		"a->b",
+		"",
+		`{"edges":[{"src":"a","dst":"b"},{"src":"b","dst":"c"},{"src":"c","dst":"a"}]}`,
+		`{"edges":[{"src":"a","dst":"a"}]}`,
+		`{"edges":`,
+	} {
+		f.Add(seed)
+	}
+	typed := []error{ErrSyntax, ErrEdgeCount, ErrSelfLoop, ErrTooManyNodes, ErrDisconnected}
+	checkTyped := func(t *testing.T, err error, form string) {
+		n := 0
+		for _, want := range typed {
+			if errors.Is(err, want) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("%s rejection wraps %d typed errors, want exactly 1: %v", form, n, err)
+		}
+	}
+	roundTrip := func(t *testing.T, s *Spec, form string) {
+		canon := s.Canonical()
+		again, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("%s: canonical %q does not reparse: %v", form, canon, err)
+		}
+		if again.Canonical() != canon {
+			t.Fatalf("%s: canonical not a fixed point: %q -> %q", form, canon, again.Canonical())
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("%s: marshal %q: %v", form, canon, err)
+		}
+		viaJSON, err := ParseSpecJSON(data)
+		if err != nil {
+			t.Fatalf("%s: JSON form %s of %q does not reparse: %v", form, data, canon, err)
+		}
+		if viaJSON.Canonical() != canon {
+			t.Fatalf("%s: JSON round trip changed spec: %q -> %q", form, canon, viaJSON.Canonical())
+		}
+		if n := s.NumNodes(); n < 2 || n > MaxNodes {
+			t.Fatalf("%s: accepted spec %q has %d variables", form, canon, n)
+		}
+		// Every accepted spec must compile (Compile is total on valid specs).
+		if p := Compile(s); p.Spec() != s {
+			t.Fatalf("%s: plan lost its spec for %q", form, canon)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, text string) {
+		if s, err := ParseSpec(text); err != nil {
+			checkTyped(t, err, "text")
+		} else {
+			roundTrip(t, s, "text")
+		}
+		if strings.HasPrefix(strings.TrimSpace(text), "{") {
+			if s, err := ParseSpecJSON([]byte(text)); err != nil {
+				checkTyped(t, err, "json")
+			} else {
+				roundTrip(t, s, "json")
+			}
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package query
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// Isomorphic specs — variable renamings, the "<-" sugar, and (for paths)
+// the whole-path reversal — must collapse to one canonical text: that
+// string is the serving tier's cache key.
+func TestCanonicalCollapsesIsomorphs(t *testing.T) {
+	classes := [][]string{
+		{"a->b; a->c; a->d", "hub->s1; hub->s2; hub->s3", "b<-a, c<-a, d<-a", "x->y; x->z; x->w"},
+		{"a->b; b->c; c->a", "u->v; v->w; w->u", "b<-a; c<-b; a<-c"},
+		{"a->b; b->c; c->d", "d->c; c->b; b->a"}, // path reversal: relabel a<->d, b<->c
+		{"a->b; c->b; c->d", "d->c; b->c; b->a"},
+		{"a->b; a->b; a->b", "x->y; x->y; x->y"},
+		{"a->b; b->a; a->b", "y<-x; x<-y; y<-x"},
+	}
+	seen := map[string]int{}
+	for ci, class := range classes {
+		var canon string
+		for _, text := range class {
+			s, err := ParseSpec(text)
+			if err != nil {
+				t.Fatalf("ParseSpec(%q): %v", text, err)
+			}
+			if canon == "" {
+				canon = s.Canonical()
+			} else if s.Canonical() != canon {
+				t.Errorf("ParseSpec(%q).Canonical() = %q, want %q", text, s.Canonical(), canon)
+			}
+		}
+		if prev, dup := seen[canon]; dup {
+			t.Errorf("classes %d and %d share canonical %q", prev, ci, canon)
+		}
+		seen[canon] = ci
+	}
+}
+
+// Canonical forms are fixed points: reparsing the canonical text yields the
+// same spec, and the canonical text reuses the a..d alphabet in
+// first-appearance order of the minimal labeling.
+func TestCanonicalRoundTrip(t *testing.T) {
+	for _, text := range []string{
+		"a->b; a->c; a->d",
+		"a->b; b->c; c->a",
+		"a->b; b->c; c->d",
+		"p->q; q->p; r->q",
+		"m->n; m->n; n->m",
+	} {
+		s, err := ParseSpec(text)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", text, err)
+		}
+		again, err := ParseSpec(s.Canonical())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", s.Canonical(), err)
+		}
+		if again.Canonical() != s.Canonical() {
+			t.Errorf("canonical not a fixed point: %q -> %q", s.Canonical(), again.Canonical())
+		}
+		if *again != *s {
+			t.Errorf("reparsed spec differs: %+v vs %+v", again, s)
+		}
+	}
+}
+
+func TestParseSpecTypedErrors(t *testing.T) {
+	cases := []struct {
+		text string
+		want error
+	}{
+		{"", ErrEdgeCount},
+		{"a->b", ErrEdgeCount},
+		{"a->b; b->c", ErrEdgeCount},
+		{"a->b; b->c; c->d; d->a", ErrEdgeCount},
+		{"a->b; b=>c; c->d", ErrSyntax},
+		{"a->b; ->c; c->d", ErrSyntax},
+		{"a->b; b->c!; c->d", ErrSyntax},
+		{"a->a; a->b; b->c", ErrSelfLoop},
+		{"a->b; b->c; c->c", ErrSelfLoop},
+		{"a->b; c->d; e->a", ErrTooManyNodes}, // 5 variables: arity checked before connectivity
+		{"a->b; c->d; a->b", ErrDisconnected},
+		{"a->b; a->b; c->d", ErrDisconnected},
+	}
+	for _, tc := range cases {
+		s, err := ParseSpec(tc.text)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted as %q, want %v", tc.text, s.Canonical(), tc.want)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("ParseSpec(%q) error = %v, want errors.Is(%v)", tc.text, err, tc.want)
+		}
+	}
+
+	// Blank terms (trailing or doubled separators) are dropped, not errors.
+	s, err := ParseSpec("a->b;; b->c; c->a; ")
+	if err != nil {
+		t.Fatalf("blank terms should be tolerated: %v", err)
+	}
+	if want, _ := ParseSpec("a->b; b->c; c->a"); *s != *want {
+		t.Fatalf("blank-term spec = %q, want %q", s.Canonical(), want.Canonical())
+	}
+}
+
+// The JSON form is term-for-term equivalent to the text form, shares its
+// typed errors, and MarshalJSON round-trips through ParseSpecJSON.
+func TestParseSpecJSON(t *testing.T) {
+	s, err := ParseSpecJSON([]byte(`{"edges":[{"src":"hub","dst":"x"},{"src":"hub","dst":"y"},{"src":"hub","dst":"z"}]}`))
+	if err != nil {
+		t.Fatalf("ParseSpecJSON: %v", err)
+	}
+	want, _ := ParseSpec("a->b; a->c; a->d")
+	if *s != *want {
+		t.Fatalf("JSON spec = %q, want %q", s.Canonical(), want.Canonical())
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	again, err := ParseSpecJSON(data)
+	if err != nil {
+		t.Fatalf("round-trip parse of %s: %v", data, err)
+	}
+	if *again != *s {
+		t.Fatalf("round trip changed spec: %q -> %q", s.Canonical(), again.Canonical())
+	}
+
+	for _, tc := range []struct {
+		data string
+		want error
+	}{
+		{`{`, ErrSyntax},
+		{`{"edges":[{"src":"a","dst":""},{"src":"a","dst":"c"},{"src":"a","dst":"d"}]}`, ErrSyntax},
+		{`{"edges":[{"src":"a","dst":"b"}]}`, ErrEdgeCount},
+		{`{"edges":[{"src":"a","dst":"a"},{"src":"a","dst":"b"},{"src":"b","dst":"c"}]}`, ErrSelfLoop},
+	} {
+		if _, err := ParseSpecJSON([]byte(tc.data)); !errors.Is(err, tc.want) {
+			t.Errorf("ParseSpecJSON(%s) error = %v, want errors.Is(%v)", tc.data, err, tc.want)
+		}
+	}
+}
+
+func TestSpecAccessors(t *testing.T) {
+	s, err := ParseSpec("a->b; b->c; c->a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d, want 3", s.NumNodes())
+	}
+	if s.String() != s.Canonical() {
+		t.Errorf("String %q != Canonical %q", s.String(), s.Canonical())
+	}
+	edges := s.Edges()
+	for _, e := range edges {
+		if e.Src == e.Dst || e.Src >= s.NumNodes() || e.Dst >= s.NumNodes() {
+			t.Errorf("bad canonical edge %+v", e)
+		}
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"net/url"
 	"strconv"
+	"strings"
 
 	"hare/internal/motif"
 	"hare/internal/nullmodel"
+	"hare/internal/query"
 )
 
 // Kind names a query family. Each kind maps to one /v1 endpoint and one
@@ -19,6 +21,7 @@ const (
 	KindStar4 Kind = "star4"
 	KindPath4 Kind = "path4"
 	KindSig   Kind = "sig"
+	KindQuery Kind = "query"
 )
 
 // Request is the canonical form of one query. The CLI, the HTTP handlers
@@ -47,6 +50,10 @@ type Request struct {
 	Model   string
 	Samples int
 	Seed    int64
+	// Spec is the motif spec of a query-kind request, in the compact text
+	// form or the JSON form (docs/QUERY.md). normalize rewrites it to the
+	// canonical text, so isomorphic specs share one cache key.
+	Spec string
 }
 
 // normalize applies defaults and validates the request. It returns the
@@ -73,6 +80,22 @@ func (r *Request) normalize() (motif.Label, error) {
 		if label, err = motif.ParseLabel(r.Motif); err != nil {
 			return motif.Label{}, err
 		}
+	}
+	if r.Spec != "" && r.Kind != KindQuery {
+		return motif.Label{}, fmt.Errorf("spec applies only to query requests")
+	}
+	if r.Kind == KindQuery {
+		if r.Spec == "" {
+			return motif.Label{}, fmt.Errorf("missing spec")
+		}
+		s, err := parseSpecParam(r.Spec)
+		if err != nil {
+			return motif.Label{}, err
+		}
+		// Canonical rewrite: isomorphic specs (and the text vs JSON forms)
+		// collapse to one Key(), so the LRU/singleflight layer works
+		// unchanged for the query kind.
+		r.Spec = s.Canonical()
 	}
 	if r.Kind == KindSig {
 		if r.Model == "" {
@@ -120,9 +143,22 @@ func (r *Request) Key() string {
 		return fmt.Sprintf("sig|%s|%d|%s|%d|%d", r.Dataset, r.Delta, r.Model, r.Samples, r.Seed)
 	case KindCount:
 		return fmt.Sprintf("count|%s|%d|%s", r.Dataset, r.Delta, categoryKey(r.Motif))
+	case KindQuery:
+		// r.Spec is canonical after normalize, so every isomorphic spelling
+		// of a motif shares one cache entry.
+		return fmt.Sprintf("query|%s|%d|%s", r.Dataset, r.Delta, r.Spec)
 	default:
 		return fmt.Sprintf("%s|%s|%d", r.Kind, r.Dataset, r.Delta)
 	}
+}
+
+// parseSpecParam accepts both spec forms in one parameter: inputs starting
+// with "{" parse as the JSON form, everything else as the compact text form.
+func parseSpecParam(s string) (*query.Spec, error) {
+	if strings.HasPrefix(strings.TrimSpace(s), "{") {
+		return query.ParseSpecJSON([]byte(s))
+	}
+	return query.ParseSpec(s)
 }
 
 // ParseRequest decodes a query string into a normalized Request.
@@ -132,6 +168,7 @@ func ParseRequest(kind Kind, q url.Values) (Request, motif.Label, error) {
 		Dataset: q.Get("dataset"),
 		Motif:   q.Get("motif"),
 		Model:   q.Get("model"),
+		Spec:    q.Get("spec"),
 	}
 	var err error
 	if r.Delta, err = intParam(q, "delta"); err != nil {

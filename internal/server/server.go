@@ -29,6 +29,7 @@ import (
 	"hare/internal/higher"
 	"hare/internal/motif"
 	"hare/internal/nullmodel"
+	"hare/internal/query"
 	"hare/internal/temporal"
 )
 
@@ -43,6 +44,9 @@ type Backend interface {
 	Star4(ctx context.Context, g *temporal.Graph, req Request) (higher.Star4Counter, error)
 	Path4(ctx context.Context, g *temporal.Graph, req Request) (higher.PathCounter, error)
 	Significance(ctx context.Context, g *temporal.Graph, req Request) (*nullmodel.Report, error)
+	// Query counts the instances of req.Spec (canonical after normalize,
+	// guaranteed to parse) within δ — the compiled-plan kind (/v1/query).
+	Query(ctx context.Context, g *temporal.Graph, req Request) (uint64, error)
 }
 
 // CountAnswer is a Backend.Count result: the exact matrix plus the
@@ -118,6 +122,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/star4", s.query(KindStar4))
 	s.mux.HandleFunc("/v1/path4", s.query(KindPath4))
 	s.mux.HandleFunc("/v1/sig", s.query(KindSig))
+	s.mux.HandleFunc("/v1/query", s.query(KindQuery))
 	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -177,10 +182,11 @@ type jobResult struct {
 	nodes   int
 	edges   int
 
-	count *CountAnswer
-	star4 *higher.Star4Counter
-	path4 *higher.PathCounter
-	sig   *nullmodel.Report
+	count  *CountAnswer
+	star4  *higher.Star4Counter
+	path4  *higher.PathCounter
+	sig    *nullmodel.Report
+	motifs *uint64 // query kind: the compiled-spec count
 }
 
 // query returns the handler for one query kind.
@@ -272,6 +278,12 @@ func (s *Server) compute(ctx context.Context, req Request) (any, error) {
 			return nil, err
 		}
 		res.sig = rep
+	case KindQuery:
+		n, err := s.backend.Query(ctx, g, req)
+		if err != nil {
+			return nil, err
+		}
+		res.motifs = &n
 	default:
 		return nil, fmt.Errorf("unknown kind %q", req.Kind)
 	}
@@ -303,6 +315,11 @@ type queryResponse struct {
 
 	Patterns map[string]uint64 `json:"patterns,omitempty"`
 	Paths    map[string]uint64 `json:"paths,omitempty"`
+
+	// Query kind: the canonical spec text and the compiled plan's pivot
+	// family ("center" or "edge"); the count itself is Total.
+	Spec  string `json:"spec,omitempty"`
+	Pivot string `json:"pivot,omitempty"`
 
 	Model   string     `json:"model,omitempty"`
 	Samples int        `json:"samples,omitempty"`
@@ -372,6 +389,15 @@ func (s *Server) response(req Request, label motif.Label, res *jobResult, hit, s
 			out.Paths[lc.Label.String()] = lc.Count
 		}
 		out.Total = res.path4.Total()
+	case KindQuery:
+		out.Spec = req.Spec
+		out.Total = *res.motifs
+		// The pivot is a pure function of the canonical spec; recompiling
+		// here keeps jobResult backend-agnostic (a shard coordinator's
+		// answer renders identically to the local backend's).
+		if s, err := query.ParseSpec(req.Spec); err == nil {
+			out.Pivot = query.Compile(s).Kind().String()
+		}
 	case KindSig:
 		rep := res.sig
 		out.Model = rep.Model.String()

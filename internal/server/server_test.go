@@ -71,6 +71,12 @@ func (f *fakeBackend) Path4(_ context.Context, g *temporal.Graph, req Request) (
 	return c, nil
 }
 
+func (f *fakeBackend) Query(_ context.Context, g *temporal.Graph, req Request) (uint64, error) {
+	f.enter()
+	defer f.exit()
+	return uint64(req.Delta) * 5, nil
+}
+
 func (f *fakeBackend) Significance(_ context.Context, g *temporal.Graph, req Request) (*nullmodel.Report, error) {
 	f.enter()
 	defer f.exit()
@@ -181,6 +187,49 @@ func TestRequestKeyCanonicalization(t *testing.T) {
 	sig2.Seed = 1
 	if sig.Key() == sig2.Key() {
 		t.Error("sig seed must be part of the key")
+	}
+}
+
+func TestQueryRequestCanonicalKey(t *testing.T) {
+	parse := func(spec string) Request {
+		t.Helper()
+		req, _, err := ParseRequest(KindQuery, url.Values{"dataset": {"d"}, "spec": {spec}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return req
+	}
+	// Three spellings of one triangle — separators, arrow sugar, variable
+	// names, rotation — normalize to one canonical spec and one cache key.
+	tri := parse("x->y; y->z; z->x")
+	if tri.Spec != "a->b; b->c; c->a" {
+		t.Fatalf("canonical spec = %q", tri.Spec)
+	}
+	rot := parse("c<-b, a<-c, b<-a")
+	if tri.Key() != rot.Key() {
+		t.Errorf("isomorphic spellings keyed apart: %q vs %q", tri.Key(), rot.Key())
+	}
+	// The JSON form normalizes into the same key space.
+	star := parse(`{"edges":[{"src":"hub","dst":"u"},{"src":"hub","dst":"v"},{"src":"hub","dst":"w"}]}`)
+	if star.Spec != "a->b; a->c; a->d" {
+		t.Fatalf("canonical JSON spec = %q", star.Spec)
+	}
+	if star.Key() == tri.Key() {
+		t.Error("distinct shapes share a key")
+	}
+	for _, bad := range []url.Values{
+		{"dataset": {"d"}}, // query without spec
+		{"dataset": {"d"}, "spec": {"a->a; a->b; b->a"}}, // self-loop
+		{"dataset": {"d"}, "spec": {"a->b; b->c"}},       // too few edges
+		{"dataset": {"d"}, "spec": {"a->b; c->d; e->f"}}, // too many nodes
+		{"dataset": {"d"}, "spec": {"nonsense"}},         // syntax
+	} {
+		if _, _, err := ParseRequest(KindQuery, bad); err == nil {
+			t.Errorf("ParseRequest(%v): want error", bad)
+		}
+	}
+	if _, _, err := ParseRequest(KindCount, url.Values{"dataset": {"d"}, "spec": {"a->b; b->c; c->a"}}); err == nil {
+		t.Error("spec on a count request: want error")
 	}
 }
 
@@ -564,6 +613,43 @@ func TestQueryEndpoints(t *testing.T) {
 	}
 }
 
+// TestQueryEndpointSharesCanonicalCacheEntry drives /v1/query end to end:
+// isomorphic spec spellings land on one cached computation, the response
+// echoes the canonical spec, and the pivot family is reported.
+func TestQueryEndpointSharesCanonicalCacheEntry(t *testing.T) {
+	s, fb := newTestServer(t, Options{WorkerBudget: 2})
+	code, body := get(t, s, "/v1/query?dataset=tiny&delta=200&spec=x-%3Ey,y-%3Ez,z-%3Ex")
+	if code != http.StatusOK {
+		t.Fatalf("query status = %d: %v", code, body)
+	}
+	if got := body["total"].(float64); got != 1000 { // fakeBackend: delta*5
+		t.Fatalf("total = %v, want 1000", got)
+	}
+	if got := body["spec"].(string); got != "a->b; b->c; c->a" {
+		t.Fatalf("echoed spec = %q, want canonical form", got)
+	}
+	if got := body["pivot"].(string); got != "edge" {
+		t.Fatalf("pivot = %q, want edge", got)
+	}
+	if body["cached"].(bool) {
+		t.Fatal("first query reported cached")
+	}
+	// A rotated, arrow-sugared respelling of the same triangle must hit the
+	// cache entry the first spelling populated.
+	code, body = get(t, s, "/v1/query?dataset=tiny&delta=200&spec=c%3C-b,a%3C-c,b%3C-a")
+	if code != http.StatusOK || !body["cached"].(bool) {
+		t.Fatalf("isomorphic respelling missed the cache: %d %v", code, body)
+	}
+	if got := fb.calls.Load(); got != 1 {
+		t.Fatalf("backend ran %d times, want 1", got)
+	}
+	// A star spec compiles to the center-pivot family.
+	code, body = get(t, s, "/v1/query?dataset=tiny&delta=200&spec=q-%3Er,q-%3Es,q-%3Et")
+	if code != http.StatusOK || body["pivot"].(string) != "center" {
+		t.Fatalf("star query = %d %v, want pivot=center", code, body)
+	}
+}
+
 func TestHTTPErrorStatuses(t *testing.T) {
 	s, _ := newTestServer(t, Options{})
 	for path, want := range map[string]int{
@@ -572,6 +658,8 @@ func TestHTTPErrorStatuses(t *testing.T) {
 		"/v1/count?dataset=tiny&motif=bogus":  http.StatusBadRequest,
 		"/v1/count":                           http.StatusBadRequest,
 		"/v1/sig?dataset=tiny&model=whatever": http.StatusBadRequest,
+		"/v1/query?dataset=tiny":              http.StatusBadRequest, // spec missing
+		"/v1/query?dataset=tiny&spec=a-%3Eb":  http.StatusBadRequest, // too few edges
 	} {
 		code, body := get(t, s, path)
 		if code != want {

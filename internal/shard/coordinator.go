@@ -7,6 +7,7 @@ import (
 	"hare/internal/engine"
 	"hare/internal/higher"
 	"hare/internal/nullmodel"
+	"hare/internal/query"
 	"hare/internal/server"
 	"hare/internal/temporal"
 )
@@ -52,6 +53,7 @@ func sub(req server.Request, g *temporal.Graph, shard, shards, lo, hi int) SubRe
 		Motif:   req.Motif,
 		Model:   req.Model,
 		Seed:    req.Seed,
+		Spec:    req.Spec,
 	}
 }
 
@@ -106,6 +108,35 @@ func (c *Coordinator) Path4(ctx context.Context, g *temporal.Graph, req server.R
 		return higher.PathCounter{}, err
 	}
 	return gather.MergePath4()
+}
+
+// Query compiles the (already canonical) spec and scatters ranges of the
+// plan's pivot domain — center-node IDs for center plans, pivot-edge IDs
+// for edge plans — summing the partial counts in shard order. A plan
+// without a splittable pivot (none exists today: both plan kinds
+// partition over a contiguous ID range) is routed whole to the worker
+// rendezvous hashing assigns the dataset, like /v1/count.
+func (c *Coordinator) Query(ctx context.Context, g *temporal.Graph, req server.Request) (uint64, error) {
+	spec, err := query.ParseSpec(req.Spec)
+	if err != nil {
+		return 0, err
+	}
+	plan := query.Compile(spec)
+	var tasks []task
+	if plan.Splittable() {
+		tasks = c.rangeTasks(req, g, plan.Domain(g))
+	} else {
+		home := PickShard(req.Dataset, len(c.client.peers))
+		tasks = []task{{sub: sub(req, g, 0, 1, 0, plan.Domain(g)), home: home}}
+	}
+	if len(tasks) == 0 {
+		return 0, nil
+	}
+	gather, err := c.client.scatter(ctx, tasks)
+	if err != nil {
+		return 0, err
+	}
+	return gather.MergeQuery()
 }
 
 // Significance counts the real graph locally (the coordinator holds a

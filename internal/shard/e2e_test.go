@@ -113,6 +113,12 @@ var e2eQueries = []string{
 	"/v1/star4?dataset=college&delta=600",
 	"/v1/path4?dataset=college&delta=600",
 	"/v1/sig?dataset=college&delta=600&samples=6&seed=3",
+	// Both compiled-plan pivot families: a star spec scatters center-node
+	// ranges, a triangle spec scatters pivot-edge ranges. (Comma is the
+	// spec separator here because raw semicolons are invalid in URL query
+	// strings; %3E is ">".)
+	"/v1/query?dataset=college&delta=600&spec=a-%3Eb,a-%3Ec,a-%3Ed",
+	"/v1/query?dataset=college&delta=600&spec=a-%3Eb,b-%3Ec,c-%3Ea",
 }
 
 // TestClusterBitIdenticalAcrossWorkerCounts is the acceptance test: every

@@ -66,6 +66,10 @@ func (countBackend) Significance(context.Context, *temporal.Graph, server.Reques
 	return nil, errors.New("unused")
 }
 
+func (countBackend) Query(context.Context, *temporal.Graph, server.Request) (uint64, error) {
+	return 0, errors.New("unused")
+}
+
 // liveWorker boots a real shard worker over g.
 func liveWorker(t *testing.T, g *temporal.Graph) *httptest.Server {
 	t.Helper()

@@ -54,6 +54,8 @@ func (g *Gather) Add(p *Partial) error {
 		ok = p.Path4 != nil
 	case server.KindSig:
 		ok = p.Sig != nil
+	case server.KindQuery:
+		ok = p.Query != nil
 	}
 	if !ok {
 		return fmt.Errorf("shard: partial for shard %d carries no %s payload", p.Shard, g.kind)
@@ -127,6 +129,21 @@ func (g *Gather) MergeCount() (server.CountAnswer, error) {
 	}
 	c := g.parts[0].Count
 	return server.CountAnswer{Matrix: c.Matrix, Workers: c.Workers, DegreeThreshold: c.DegreeThreshold}, nil
+}
+
+// MergeQuery sums the per-range spec counts in shard order. Each instance
+// has a unique pivot ID (center node or pivot edge), so partial counts
+// over disjoint ranges sum — exactly, as uint64 tallies — to the
+// single-node answer.
+func (g *Gather) MergeQuery() (uint64, error) {
+	if !g.Complete() {
+		return 0, g.incomplete()
+	}
+	var total uint64
+	for _, p := range g.parts {
+		total += *p.Query
+	}
+	return total, nil
 }
 
 // MergeSig concatenates the raw per-sample matrices in shard order —

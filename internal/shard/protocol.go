@@ -82,6 +82,12 @@ type SubRequest struct {
 	// Model and Seed configure null sampling (sig kind only).
 	Model string `json:"model,omitempty"`
 	Seed  int64  `json:"seed,omitempty"`
+	// Spec is the canonical motif spec text (query kind only). Lo/Hi then
+	// range over the compiled plan's pivot domain: center-node IDs for
+	// center plans, pivot-edge IDs for edge plans. Adding the query kind
+	// was additive — older workers answer 400 unknown kind, not a wrong
+	// partial — so ProtoVersion stayed at 1.
+	Spec string `json:"spec,omitempty"`
 }
 
 // CountPartial is a count sub-request's answer: the full (possibly
@@ -108,6 +114,7 @@ type Partial struct {
 	Star4 *higher.Star4Counter `json:"star4,omitempty"`
 	Path4 *higher.PathCounter  `json:"path4,omitempty"`
 	Sig   []motif.Matrix       `json:"sig,omitempty"`
+	Query *uint64              `json:"query,omitempty"`
 }
 
 // Info is a worker's /shard/v1/info self-description, used by operators
@@ -144,6 +151,13 @@ func (s *SubRequest) validate() error {
 	}
 	switch s.Kind {
 	case server.KindCount:
+	case server.KindQuery:
+		if s.Spec == "" {
+			return fmt.Errorf("shard: query sub-request missing spec")
+		}
+		if s.Lo < 0 || s.Hi < s.Lo {
+			return fmt.Errorf("shard: invalid range [%d, %d)", s.Lo, s.Hi)
+		}
 	case server.KindStar4, server.KindPath4, server.KindSig:
 		if s.Lo < 0 || s.Hi < s.Lo {
 			return fmt.Errorf("shard: invalid range [%d, %d)", s.Lo, s.Hi)

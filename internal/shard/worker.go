@@ -8,6 +8,7 @@ import (
 
 	"hare/internal/higher"
 	"hare/internal/nullmodel"
+	"hare/internal/query"
 	"hare/internal/server"
 	"hare/internal/temporal"
 )
@@ -116,6 +117,14 @@ func (w *Worker) handleCompute(rw http.ResponseWriter, r *http.Request) {
 	case server.KindPath4:
 		c := higher.CountPath4Range(g, delta, w.higherOpts(sub), sub.Lo, sub.Hi)
 		p.Path4 = &c
+	case server.KindQuery:
+		spec, err := query.ParseSpec(sub.Spec)
+		if err != nil {
+			writeWireError(rw, http.StatusBadRequest, err, ProtoVersion)
+			return
+		}
+		n := query.Compile(spec).ExecuteRange(g, delta, w.higherOpts(sub), sub.Lo, sub.Hi)
+		p.Query = &n
 	case server.KindSig:
 		model, err := nullmodel.ParseModel(sub.Model)
 		if err != nil {

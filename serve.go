@@ -120,6 +120,14 @@ func (b libraryBackend) Path4(_ context.Context, g *temporal.Graph, req server.R
 	return CountPath4(g, Timestamp(req.Delta), b.options(req)...)
 }
 
+func (b libraryBackend) Query(_ context.Context, g *temporal.Graph, req server.Request) (uint64, error) {
+	spec, err := ParseSpec(req.Spec) // canonical after normalize; reparse is cheap
+	if err != nil {
+		return 0, err
+	}
+	return CountMotif(g, spec, Timestamp(req.Delta), b.options(req)...)
+}
+
 func (b libraryBackend) Significance(_ context.Context, g *temporal.Graph, req server.Request) (*nullmodel.Report, error) {
 	model, err := ParseNullModel(req.Model)
 	if err != nil {
