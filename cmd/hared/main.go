@@ -9,6 +9,7 @@
 //	hared -listen :8315 -data wiki=wiki.txt.gz -data sms=sms.txt
 //	hared -listen :8315 -data wiki=wiki.hare    # binary snapshot, mmapped
 //	hared -listen :8315 -gen collegemsg:0.2 -gen wikitalk:0.05
+//	hared -listen :8315 -live events:600          # mutable live dataset
 //	hared -version
 //
 // Scale-out (docs/SHARDING.md): workers expose the shard wire protocol
@@ -25,15 +26,23 @@
 // text path automatically prefers a "<path>.hare" sibling snapshot when
 // one exists, including under -preload.
 //
-// Endpoints (all GET, JSON):
+// Endpoints (GET unless noted, JSON):
 //
 //	/v1/count?dataset=wiki&delta=600[&motif=M26][&workers=4][&thrd=100]
 //	/v1/star4?dataset=wiki&delta=600      4-node star motifs
 //	/v1/path4?dataset=wiki&delta=600      4-node path motifs
 //	/v1/sig?dataset=wiki&delta=600&model=time-shuffle&samples=20&seed=1
+//	/v1/ingest?dataset=events             POST a text edge list to a -live dataset
+//	/v1/watch?dataset=events[&motif=M65][&z=4]   SSE significance alerts
 //	/v1/datasets                          registered datasets
 //	/healthz                              liveness + version
 //	/metrics                              Prometheus text metrics
+//
+// Live datasets (-live name[:delta], docs/LIVE.md) are mutable: every
+// accepted /v1/ingest batch advances a monotonic version, cached query
+// results are keyed on it (stale answers die on append), and /v1/watch
+// streams z-score alerts when sliding-window motif counts spike against
+// their trailing baseline.
 package main
 
 import (
@@ -63,7 +72,7 @@ func (r *repeatable) String() string     { return strings.Join(*r, ",") }
 func (r *repeatable) Set(v string) error { *r = append(*r, v); return nil }
 
 func main() {
-	var dataFlags, genFlags repeatable
+	var dataFlags, genFlags, liveFlags repeatable
 	var (
 		listen    = flag.String("listen", ":8315", "listen address")
 		cacheSize = flag.Int("cache", 1024, "result-cache capacity in entries (negative = disable)")
@@ -84,13 +93,14 @@ func main() {
 	)
 	flag.Var(&dataFlags, "data", "dataset as name=path (edge list, .gz, or .hare snapshot; repeatable)")
 	flag.Var(&genFlags, "gen", "synthetic dataset as name[:scale] from the built-in suite (repeatable)")
+	flag.Var(&liveFlags, "live", "mutable live dataset as name[:delta] fed by /v1/ingest (delta = sliding watch window, default 600; repeatable)")
 	flag.Parse()
 	if *version {
 		fmt.Println("hared", buildinfo.Version())
 		return
 	}
-	if len(dataFlags) == 0 && len(genFlags) == 0 {
-		usageErr("at least one -data or -gen dataset is required")
+	if len(dataFlags) == 0 && len(genFlags) == 0 && len(liveFlags) == 0 {
+		usageErr("at least one -data, -gen or -live dataset is required")
 	}
 	if *loadW < 0 {
 		usageErr("-load-workers must be >= 0 (got %d; 0 = all CPUs)", *loadW)
@@ -169,6 +179,20 @@ func main() {
 		c := cfg
 		if err := srv.RegisterSourced(name, fmt.Sprintf("synthetic %s (%d nodes, %d edges)", cfg.Name, cfg.Nodes, cfg.Edges),
 			func() (*hare.Graph, string, error) { g, err := gen.Generate(c); return g, "synthetic", err }); err != nil {
+			usageErr("%v", err)
+		}
+		names = append(names, name)
+	}
+	for _, spec := range liveFlags {
+		name, delta, err := liveConfig(spec)
+		if err != nil {
+			usageErr("-live %s: %v", spec, err)
+		}
+		d, err := hare.NewLiveDataset(name, hare.LiveOptions{Delta: delta})
+		if err != nil {
+			usageErr("-live %s: %v", spec, err)
+		}
+		if err := srv.RegisterLive(d, fmt.Sprintf("live dataset (delta %d)", delta)); err != nil {
 			usageErr("%v", err)
 		}
 		names = append(names, name)
@@ -255,6 +279,25 @@ func genConfig(spec string) (string, gen.Config, error) {
 		return "", gen.Config{}, fmt.Errorf("scale must be a positive number (got %q)", scaleStr)
 	}
 	return spec, gen.Scaled(cfg, scale), nil
+}
+
+// liveConfig parses a -live spec "name[:delta]". Unlike -gen, the
+// registered name excludes the delta suffix: the window is a property of
+// the dataset's watch pipeline, not its identity, and clients ingest by
+// plain name.
+func liveConfig(spec string) (string, hare.Timestamp, error) {
+	name, deltaStr, hasDelta := strings.Cut(spec, ":")
+	if name == "" {
+		return "", 0, fmt.Errorf("empty dataset name")
+	}
+	if !hasDelta {
+		return name, 600, nil
+	}
+	delta, err := strconv.ParseInt(deltaStr, 10, 64)
+	if err != nil || delta < 0 {
+		return "", 0, fmt.Errorf("delta must be a non-negative integer (got %q)", deltaStr)
+	}
+	return name, hare.Timestamp(delta), nil
 }
 
 // usageErr reports a flag-validation failure with usage text and exits 2.

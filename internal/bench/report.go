@@ -31,8 +31,11 @@ import (
 // Schema 8 added the query_* fields (the motif-spec compiler of
 // docs/QUERY.md: a compiled star plan against the hand-tuned CountStar4
 // it lowers to, and the generic edge-pivot executor on a temporal
-// triangle).
-const ReportSchema = 8
+// triangle). Schema 9 added the ingest_http_* fields (the live-dataset
+// tier of docs/LIVE.md: corpus replay through the POST /v1/ingest
+// handler — distinct from ingest_*, which is the in-memory CSR build —
+// plus the cached-vs-post-ingest invalidation correctness bit).
+const ReportSchema = 9
 
 // DatasetReport holds one dataset's measured numbers. Timings are
 // best-of-Runs wall times; rates derive from them.
@@ -128,6 +131,17 @@ type DatasetReport struct {
 	QueryStar4HandNsOp int64   `json:"query_star4_hand_ns_op"`
 	QueryStar4Overhead float64 `json:"query_star4_overhead"`
 	QueryTriangleNsOp  int64   `json:"query_triangle_ns_op"`
+
+	// Live: the dataset's edge list replayed through the POST /v1/ingest
+	// HTTP handler into a live dataset (text parse + ordering validation +
+	// exact online counting, docs/LIVE.md) — per-batch handler latency and
+	// whole-replay edge throughput. LiveInvalidationOK reports the ride-
+	// along correctness check: an answer cached at version v was verified
+	// to recompute (one new cache miss) after the ingest to v+1 — the
+	// measurement errors out if it ever serves stale.
+	IngestHTTPBatchNsOp   int64   `json:"ingest_http_batch_ns_op"`
+	IngestHTTPEdgesPerSec float64 `json:"ingest_http_edges_per_sec"`
+	LiveInvalidationOK    bool    `json:"live_invalidation_ok"`
 }
 
 // Report is the machine-readable benchmark report emitted by
@@ -283,6 +297,14 @@ func JSONReport(opts Options, runs int) (*Report, error) {
 		d.QueryStar4HandNsOp = qm.HandNsOp
 		d.QueryStar4Overhead = qm.Overhead
 		d.QueryTriangleNsOp = qm.TriangleNsOp
+
+		lm, err := measureLive(name, g, delta, runs)
+		if err != nil {
+			return nil, err
+		}
+		d.IngestHTTPBatchNsOp = lm.BatchNsOp
+		d.IngestHTTPEdgesPerSec = lm.EdgesPerSec
+		d.LiveInvalidationOK = lm.Invalidated
 
 		rep.Datasets = append(rep.Datasets, d)
 	}

@@ -26,6 +26,7 @@ import (
 type e2eResponse struct {
 	Dataset      string            `json:"dataset"`
 	DeltaSeconds int64             `json:"delta_seconds"`
+	Edges        int               `json:"edges"`
 	Matrix       map[string]uint64 `json:"matrix"`
 	Motif        string            `json:"motif"`
 	Count        *uint64           `json:"count"`

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hare/internal/live"
+	"hare/internal/motif"
+	"hare/internal/temporal"
+)
+
+// maxIngestBody bounds one /v1/ingest request body. At ~20 bytes per text
+// edge line this admits multi-million-edge batches while keeping a single
+// request from exhausting memory.
+const maxIngestBody = 64 << 20
+
+// RegisterLive adds a mutable dataset fed by /v1/ingest and watched by
+// /v1/watch. The dataset joins the registry as a volatile entry — query
+// endpoints resolve its graph through the same Registry.Get path as
+// immutable datasets, but per version and exempt from LRU eviction — and
+// its version joins the result-cache key, so cached answers die naturally
+// the moment an ingest advances the dataset.
+func (s *Server) RegisterLive(d *live.Dataset, desc string) error {
+	name := d.Name()
+	if err := s.registry.RegisterVolatile(name, desc, "live", func() (*temporal.Graph, error) {
+		return d.Graph(), nil
+	}); err != nil {
+		return err
+	}
+	s.liveMu.Lock()
+	s.live[name] = d
+	s.liveMu.Unlock()
+	return nil
+}
+
+// Live returns the named live dataset, or nil when the name is unknown or
+// names an immutable dataset.
+func (s *Server) Live(name string) *live.Dataset {
+	s.liveMu.RLock()
+	defer s.liveMu.RUnlock()
+	return s.live[name]
+}
+
+// liveDatasets snapshots the registered live datasets for metrics.
+func (s *Server) liveDatasets() []*live.Dataset {
+	s.liveMu.RLock()
+	defer s.liveMu.RUnlock()
+	out := make([]*live.Dataset, 0, len(s.live))
+	for _, d := range s.live {
+		out = append(out, d)
+	}
+	return out
+}
+
+// cacheKey is a request's result-cache key: the canonical Request.Key(),
+// plus the dataset version for live datasets — (dataset, version) keying is
+// what closes the invalidation gap. The version is read at request arrival:
+// a racing ingest can only make a fresher answer land under the old key,
+// never a stale answer under the new one.
+func (s *Server) cacheKey(req Request) string {
+	if d := s.Live(req.Dataset); d != nil {
+		return fmt.Sprintf("%s|v%d", req.Key(), d.Version())
+	}
+	return req.Key()
+}
+
+// ingestResponse is the /v1/ingest JSON envelope.
+type ingestResponse struct {
+	Dataset   string       `json:"dataset"`
+	Accepted  int          `json:"accepted"`
+	Version   uint64       `json:"version"`
+	Watermark int64        `json:"watermark"`
+	Alerts    []live.Alert `json:"alerts,omitempty"`
+}
+
+// handleIngest serves POST /v1/ingest?dataset=<name>: the body is a text
+// edge list ("u v t" lines, #/% comments), appended as one atomic batch.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := false
+	defer func() { s.metrics.observe("ingest", time.Since(start), failed) }()
+	if r.Method != http.MethodPost {
+		failed = true
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	name := r.URL.Query().Get("dataset")
+	if name == "" {
+		failed = true
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing dataset"))
+		return
+	}
+	d, err := s.requireLive(name)
+	if err != nil {
+		failed = true
+		status := http.StatusBadRequest
+		if _, ok := err.(*UnknownDatasetError); ok {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	res, err := d.IngestText(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	if err != nil {
+		failed = true
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, ingestResponse{
+		Dataset:   name,
+		Accepted:  res.Accepted,
+		Version:   res.Version,
+		Watermark: int64(res.Watermark),
+		Alerts:    res.Alerts,
+	})
+}
+
+// requireLive resolves a name to its live dataset, distinguishing "not
+// registered at all" (404) from "registered but immutable" (400).
+func (s *Server) requireLive(name string) (*live.Dataset, error) {
+	if d := s.Live(name); d != nil {
+		return d, nil
+	}
+	s.registry.mu.Lock()
+	_, registered := s.registry.entries[name]
+	s.registry.mu.Unlock()
+	if !registered {
+		return nil, &UnknownDatasetError{Name: name}
+	}
+	return nil, fmt.Errorf("dataset %q is not live", name)
+}
+
+// handleWatch serves GET /v1/watch?dataset=<name>: a Server-Sent Events
+// stream of significance alerts. Optional filters: motif=<label> passes
+// only that motif's alerts, z=<min> only alerts at or above the given
+// z-score (infinite z always passes). The stream opens with a "hello"
+// event carrying the dataset's current version, then one "alert" event per
+// alert (data: the live.Alert JSON), until the client disconnects.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := false
+	defer func() { s.metrics.observe("watch", time.Since(start), failed) }()
+	if r.Method != http.MethodGet {
+		failed = true
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	q := r.URL.Query()
+	name := q.Get("dataset")
+	if name == "" {
+		failed = true
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing dataset"))
+		return
+	}
+	d, err := s.requireLive(name)
+	if err != nil {
+		failed = true
+		status := http.StatusBadRequest
+		if _, ok := err.(*UnknownDatasetError); ok {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	var only string
+	if m := q.Get("motif"); m != "" {
+		l, err := motif.ParseLabel(m)
+		if err != nil {
+			failed = true
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		only = l.String()
+	}
+	minZ := math.Inf(-1)
+	if v := q.Get("z"); v != "" {
+		minZ, err = strconv.ParseFloat(v, 64)
+		if err != nil {
+			failed = true
+			writeError(w, http.StatusBadRequest, fmt.Errorf("z: %v", err))
+			return
+		}
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		failed = true
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	ch, cancel := d.Subscribe()
+	defer cancel()
+	fmt.Fprintf(w, "event: hello\ndata: {\"dataset\":%q,\"version\":%d,\"delta_seconds\":%d}\n\n",
+		name, d.Version(), int64(d.Delta()))
+	flusher.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case a, ok := <-ch:
+			if !ok {
+				return
+			}
+			if only != "" && a.Motif != only {
+				continue
+			}
+			if !math.IsInf(a.Z, 1) && a.Z < minZ {
+				continue
+			}
+			data, err := a.MarshalJSON()
+			if err != nil {
+				continue // cannot happen: Alert marshals infallibly
+			}
+			fmt.Fprintf(w, "event: alert\ndata: %s\n\n", data)
+			flusher.Flush()
+		}
+	}
+}

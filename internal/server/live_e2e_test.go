@@ -1,0 +1,408 @@
+package server_test
+
+// End-to-end tests of the live-dataset tier over a real HTTP server: text
+// batches POSTed to /v1/ingest, /v1/count answers bit-identical to direct
+// hare.Count over the same edges, the version-keyed cache invalidating on
+// append, and /v1/watch streaming a planted anomaly's alert (and staying
+// silent on the null stream). The CI race job runs this file under -race.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hare"
+	"hare/internal/temporal"
+)
+
+// liveTestServer registers one live dataset on a real HTTP server.
+func liveTestServer(t *testing.T, name string, delta hare.Timestamp) (*hare.Server, *hare.LiveDataset, *httptest.Server) {
+	t.Helper()
+	srv, err := hare.NewServer(hare.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := hare.NewLiveDataset(name, hare.LiveOptions{Delta: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterLive(d, "e2e live dataset"); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, d, hs
+}
+
+// ingestText POSTs one text batch and decodes the response.
+func ingestText(t *testing.T, hs *httptest.Server, dataset, body string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(hs.URL+"/v1/ingest?dataset="+dataset, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d: %s", resp.StatusCode, data)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func edgesToText(edges []temporal.Edge) string {
+	var sb strings.Builder
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "%d %d %d\n", e.From, e.To, e.Time)
+	}
+	return sb.String()
+}
+
+func TestLiveEndToEndBitIdentity(t *testing.T) {
+	// Replay a generated corpus into a live dataset in uneven text batches,
+	// then prove the served cumulative counts are bit-identical to direct
+	// hare.Count over the same edges — the invariant every tier holds.
+	g := e2eGraph(t)
+	edges := g.Edges()
+	_, d, hs := liveTestServer(t, "stream", 600)
+
+	batch := 0
+	for lo := 0; lo < len(edges); batch++ {
+		hi := lo + 997 + 401*(batch%3) // uneven on purpose
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		res := ingestText(t, hs, "stream", edgesToText(edges[lo:hi]))
+		if int(res["accepted"].(float64)) != hi-lo {
+			t.Fatalf("batch %d: accepted %v, want %d", batch, res["accepted"], hi-lo)
+		}
+		if int(res["version"].(float64)) != batch+2 {
+			t.Fatalf("batch %d: version %v, want %d", batch, res["version"], batch+2)
+		}
+		lo = hi
+	}
+	if got := d.Version(); got != uint64(batch)+1 {
+		t.Fatalf("final version = %d, want %d", got, batch+1)
+	}
+
+	want, err := hare.Count(g, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) the online stream counter's cumulative matrix;
+	online := d.Matrix()
+	if !online.Equal(&want.Matrix) {
+		t.Fatalf("online cumulative counts diverge from hare.Count: %v", online.Diff(&want.Matrix))
+	}
+
+	// (b) the served answer, computed by the batch engine over the live
+	// dataset's graph snapshot.
+	resp, err := http.Get(hs.URL + "/v1/count?dataset=stream&delta=600")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("count: %d: %s", resp.StatusCode, data)
+	}
+	var body e2eResponse
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range hare.AllLabels() {
+		if body.Matrix[l.String()] != want.Matrix.At(l) {
+			t.Fatalf("served %s = %d, want %d", l, body.Matrix[l.String()], want.Matrix.At(l))
+		}
+	}
+	if body.Total != want.Matrix.Total() {
+		t.Fatalf("served total = %d, want %d", body.Total, want.Matrix.Total())
+	}
+}
+
+func TestLiveCacheInvalidationOnIngest(t *testing.T) {
+	srv, _, hs := liveTestServer(t, "feed", 600)
+
+	fetch := func() e2eResponse {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/v1/count?dataset=feed&delta=600")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("count: %d: %s", resp.StatusCode, data)
+		}
+		var body e2eResponse
+		if err := json.Unmarshal(data, &body); err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	// Seed: a chain within δ — M11..-class motifs exist.
+	ingestText(t, hs, "feed", "0 1 10\n1 2 20\n2 3 30\n")
+
+	first := fetch()
+	if first.Cached {
+		t.Fatal("first query served from cache")
+	}
+	second := fetch()
+	if !second.Cached {
+		t.Fatal("repeat query at the same version missed the cache")
+	}
+	_, missesBefore, _, _ := srv.CacheStats()
+
+	// Append: the version advances, so the cached v2 answer must become
+	// unreachable — a fresh compute (miss) with the new edges included.
+	ingestText(t, hs, "feed", "3 4 40\n4 1 45\n")
+	third := fetch()
+	if third.Cached || third.Coalesced {
+		t.Fatal("post-ingest query served a stale cached answer")
+	}
+	_, missesAfter, _, _ := srv.CacheStats()
+	if missesAfter != missesBefore+1 {
+		t.Fatalf("misses %d -> %d, want exactly one new miss", missesBefore, missesAfter)
+	}
+	if third.Edges != 5 {
+		t.Fatalf("post-ingest answer sees %d edges, want 5", third.Edges)
+	}
+
+	// The fresh answer is the batch count over all five edges.
+	want, err := hare.Count(temporal.FromEdges([]temporal.Edge{
+		{From: 0, To: 1, Time: 10}, {From: 1, To: 2, Time: 20}, {From: 2, To: 3, Time: 30},
+		{From: 3, To: 4, Time: 40}, {From: 4, To: 1, Time: 45},
+	}), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range hare.AllLabels() {
+		if third.Matrix[l.String()] != want.Matrix.At(l) {
+			t.Fatalf("post-ingest %s = %d, want %d", l, third.Matrix[l.String()], want.Matrix.At(l))
+		}
+	}
+}
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	event string
+	data  string
+}
+
+// watchStream opens /v1/watch and feeds parsed events to a channel until
+// the response body closes.
+func watchStream(t *testing.T, hs *httptest.Server, query string) (<-chan sseEvent, func()) {
+	t.Helper()
+	resp, err := http.Get(hs.URL + "/v1/watch?" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("watch: %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("watch content-type = %q", ct)
+	}
+	events := make(chan sseEvent, 64)
+	go func() {
+		defer close(events)
+		scan := bufio.NewScanner(resp.Body)
+		var cur sseEvent
+		for scan.Scan() {
+			line := scan.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				cur.event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				cur.data = strings.TrimPrefix(line, "data: ")
+			case line == "":
+				if cur.event != "" || cur.data != "" {
+					events <- cur
+					cur = sseEvent{}
+				}
+			}
+		}
+	}()
+	return events, func() { resp.Body.Close() }
+}
+
+func nextEvent(t *testing.T, events <-chan sseEvent, what string) sseEvent {
+	t.Helper()
+	select {
+	case ev, ok := <-events:
+		if !ok {
+			t.Fatalf("watch stream closed waiting for %s", what)
+		}
+		return ev
+	case <-time.After(10 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+	}
+	panic("unreachable")
+}
+
+func TestWatchEmitsAlertOnPlantedAnomaly(t *testing.T) {
+	_, _, hs := liveTestServer(t, "msgs", 600)
+	events, stop := watchStream(t, hs, "dataset=msgs")
+	defer stop()
+
+	hello := nextEvent(t, events, "hello event")
+	if hello.event != "hello" || !strings.Contains(hello.data, `"dataset":"msgs"`) {
+		t.Fatalf("first event = %+v, want hello", hello)
+	}
+
+	// Quiet baseline: far-apart single messages, no in-window motifs —
+	// enough readings to warm the trailing ensemble.
+	for i := 0; i < 6; i++ {
+		ingestText(t, hs, "msgs", fmt.Sprintf("%d %d %d\n", i, i+1, 10000*i))
+	}
+
+	// The planted attack (the examples/anomaly construction): tight a⇄b
+	// ping-pong bursts — a->b, b->a, a->b seconds apart — whose motif
+	// fingerprint is M65.
+	var sb strings.Builder
+	for i := 0; i < 8; i++ {
+		a, b := 100+2*i, 101+2*i
+		base := 100000 + i
+		fmt.Fprintf(&sb, "%d %d %d\n%d %d %d\n%d %d %d\n", a, b, base, b, a, base+7, a, b, base+15)
+	}
+	// Ingest order must be chronological across the interleaved bursts.
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	type tl struct {
+		line string
+		t    int
+	}
+	tls := make([]tl, len(lines))
+	for i, l := range lines {
+		var a, b, ts int
+		fmt.Sscanf(l, "%d %d %d", &a, &b, &ts)
+		tls[i] = tl{l, ts}
+	}
+	for i := 1; i < len(tls); i++ {
+		for j := i; j > 0 && tls[j].t < tls[j-1].t; j-- {
+			tls[j], tls[j-1] = tls[j-1], tls[j]
+		}
+	}
+	var ordered strings.Builder
+	for _, e := range tls {
+		ordered.WriteString(e.line + "\n")
+	}
+	res := ingestText(t, hs, "msgs", ordered.String())
+	if res["alerts"] == nil {
+		t.Fatal("planted anomaly batch reported no alerts")
+	}
+
+	// The SSE stream delivers the alert: motif M65, infinite z (flat
+	// baseline), the batch's version.
+	var alert map[string]any
+	for {
+		ev := nextEvent(t, events, "M65 alert")
+		if ev.event != "alert" {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+		if err := json.Unmarshal([]byte(ev.data), &alert); err != nil {
+			t.Fatalf("alert data %q: %v", ev.data, err)
+		}
+		if alert["motif"] == "M65" {
+			break
+		}
+	}
+	if alert["z_inf"] != "+" {
+		t.Fatalf("alert z_inf = %v, want + (flat baseline)", alert["z_inf"])
+	}
+	if v, _ := alert["version"].(float64); int(v) != int(res["version"].(float64)) {
+		t.Fatalf("alert version %v != ingest version %v", alert["version"], res["version"])
+	}
+	if w, _ := alert["window"].(float64); w < 8 {
+		t.Fatalf("alert window = %v, want >= 8 ping-pong instances", alert["window"])
+	}
+}
+
+func TestWatchSilentOnNullStream(t *testing.T) {
+	_, d, hs := liveTestServer(t, "null", 600)
+	events, stop := watchStream(t, hs, "dataset=null")
+	defer stop()
+	if ev := nextEvent(t, events, "hello event"); ev.event != "hello" {
+		t.Fatalf("first event = %+v", ev)
+	}
+	// Steady organic traffic: one fresh-pair message per batch. Window
+	// counts never reach the alert floor, so the stream stays silent.
+	for i := 0; i < 30; i++ {
+		ingestText(t, hs, "null", fmt.Sprintf("%d %d %d\n", 2*i, 2*i+1, 100*i))
+	}
+	if st := d.Stats(); st.Alerts != 0 {
+		t.Fatalf("null stream published %d alerts", st.Alerts)
+	}
+	select {
+	case ev, ok := <-events:
+		if ok {
+			t.Fatalf("null stream delivered event %+v", ev)
+		}
+	case <-time.After(200 * time.Millisecond):
+		// silence — as it should be
+	}
+}
+
+func TestWatchMotifAndZFilters(t *testing.T) {
+	_, d, hs := liveTestServer(t, "f", 600)
+	// Two filtered subscribers to one dataset: one pinned to a motif that
+	// never fires (M11), one to the anomaly's fingerprint (M65) with an
+	// enormous finite z floor — which an infinite-z alert must still pass.
+	other, stopOther := watchStream(t, hs, "dataset=f&motif=M11")
+	defer stopOther()
+	m65, stop65 := watchStream(t, hs, "dataset=f&motif=M65&z=1000000")
+	defer stop65()
+	if ev := nextEvent(t, other, "hello event"); ev.event != "hello" {
+		t.Fatalf("first event = %+v", ev)
+	}
+	if ev := nextEvent(t, m65, "hello event"); ev.event != "hello" {
+		t.Fatalf("first event = %+v", ev)
+	}
+
+	for i := 0; i < 6; i++ {
+		ingestText(t, hs, "f", fmt.Sprintf("%d %d %d\n", i, i+1, 10000*i))
+	}
+	// One batch of 6 disjoint ping-pong bursts: window M65 = 6 over a flat
+	// baseline, z = +Inf.
+	var sb strings.Builder
+	for i := 0; i < 6; i++ {
+		a, b, base := 100+2*i, 101+2*i, 100000+i
+		fmt.Fprintf(&sb, "%d %d %d\n", a, b, base)
+	}
+	for i := 0; i < 6; i++ {
+		a, b, base := 100+2*i, 101+2*i, 100000+i
+		fmt.Fprintf(&sb, "%d %d %d\n", b, a, base+7)
+	}
+	for i := 0; i < 6; i++ {
+		a, b, base := 100+2*i, 101+2*i, 100000+i
+		fmt.Fprintf(&sb, "%d %d %d\n", a, b, base+15)
+	}
+	ingestText(t, hs, "f", sb.String())
+	if st := d.Stats(); st.Alerts == 0 {
+		t.Fatal("expected the burst to publish at least one alert")
+	}
+
+	ev := nextEvent(t, m65, "M65 alert")
+	if ev.event != "alert" || !strings.Contains(ev.data, `"motif":"M65"`) {
+		t.Fatalf("event = %+v, want M65 alert", ev)
+	}
+	select {
+	case ev, ok := <-other:
+		if ok {
+			t.Fatalf("M11-filtered stream delivered %+v", ev)
+		}
+	case <-time.After(200 * time.Millisecond):
+	}
+}

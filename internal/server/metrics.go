@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"hare/internal/live"
 )
 
 // metrics aggregates the server's operational counters. Everything is
@@ -92,6 +94,46 @@ func (m *metrics) write(w io.Writer, s *Server) {
 	fmt.Fprintf(w, "# HELP hared_dataset_loads_total Dataset graph loads.\n# TYPE hared_dataset_loads_total counter\nhared_dataset_loads_total %d\n", loads)
 	fmt.Fprintf(w, "# HELP hared_dataset_evictions_total Dataset graphs evicted from the registry.\n# TYPE hared_dataset_evictions_total counter\nhared_dataset_evictions_total %d\n", devictions)
 	fmt.Fprintf(w, "# HELP hared_datasets_resident Dataset graphs currently loaded.\n# TYPE hared_datasets_resident gauge\nhared_datasets_resident %d\n", resident)
+
+	if lds := s.liveDatasets(); len(lds) > 0 {
+		type liveRow struct {
+			name  string
+			stats live.Stats
+		}
+		lrows := make([]liveRow, 0, len(lds))
+		for _, d := range lds {
+			lrows = append(lrows, liveRow{d.Name(), d.Stats()})
+		}
+		sort.Slice(lrows, func(i, j int) bool { return lrows[i].name < lrows[j].name })
+		fmt.Fprintf(w, "# HELP hared_ingest_batches_total Accepted ingest batches, by live dataset.\n# TYPE hared_ingest_batches_total counter\n")
+		for _, r := range lrows {
+			fmt.Fprintf(w, "hared_ingest_batches_total{dataset=%q} %d\n", r.name, r.stats.Ingests)
+		}
+		fmt.Fprintf(w, "# HELP hared_ingest_edges_total Accepted ingested edges, by live dataset.\n# TYPE hared_ingest_edges_total counter\n")
+		for _, r := range lrows {
+			fmt.Fprintf(w, "hared_ingest_edges_total{dataset=%q} %d\n", r.name, r.stats.Edges)
+		}
+		fmt.Fprintf(w, "# HELP hared_ingest_rejected_total Rejected ingest batches, by live dataset.\n# TYPE hared_ingest_rejected_total counter\n")
+		for _, r := range lrows {
+			fmt.Fprintf(w, "hared_ingest_rejected_total{dataset=%q} %d\n", r.name, r.stats.Rejected)
+		}
+		fmt.Fprintf(w, "# HELP hared_live_version Current version, by live dataset.\n# TYPE hared_live_version gauge\n")
+		for _, r := range lrows {
+			fmt.Fprintf(w, "hared_live_version{dataset=%q} %d\n", r.name, r.stats.Version)
+		}
+		fmt.Fprintf(w, "# HELP hared_watch_alerts_total Significance alerts published, by live dataset.\n# TYPE hared_watch_alerts_total counter\n")
+		for _, r := range lrows {
+			fmt.Fprintf(w, "hared_watch_alerts_total{dataset=%q} %d\n", r.name, r.stats.Alerts)
+		}
+		fmt.Fprintf(w, "# HELP hared_watch_dropped_total Alerts dropped on full subscriber buffers, by live dataset.\n# TYPE hared_watch_dropped_total counter\n")
+		for _, r := range lrows {
+			fmt.Fprintf(w, "hared_watch_dropped_total{dataset=%q} %d\n", r.name, r.stats.Dropped)
+		}
+		fmt.Fprintf(w, "# HELP hared_watch_subscribers Watch subscribers currently connected, by live dataset.\n# TYPE hared_watch_subscribers gauge\n")
+		for _, r := range lrows {
+			fmt.Fprintf(w, "hared_watch_subscribers{dataset=%q} %d\n", r.name, r.stats.Subscribers)
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP hared_uptime_seconds Seconds since the server started.\n# TYPE hared_uptime_seconds gauge\nhared_uptime_seconds %g\n", uptime)
 	fmt.Fprintf(w, "# HELP hared_build_info Build metadata as labels; value is always 1.\n# TYPE hared_build_info gauge\nhared_build_info{version=%q} 1\n", s.version)

@@ -48,6 +48,12 @@ type regEntry struct {
 	g      *temporal.Graph // nil when not resident
 	elem   *list.Element   // position in lru when resident
 	source string          // provenance of the last successful load ("" = never loaded)
+
+	// volatile entries (live datasets) re-resolve their graph on every Get
+	// and never join the LRU: they cannot be evicted, and their loader —
+	// which snapshots mutable state and must stay cheap — is the single
+	// source of truth for the current graph.
+	volatile bool
 }
 
 // NewRegistry returns a registry keeping at most maxLoaded graphs resident
@@ -93,6 +99,25 @@ func (r *Registry) RegisterGraph(name, desc string, g *temporal.Graph) error {
 	return r.RegisterSourced(name, desc, func() (*temporal.Graph, string, error) { return g, "memory", nil })
 }
 
+// RegisterVolatile adds a dataset whose graph changes over time (a live
+// dataset): Get calls load on every request — load must therefore be cheap,
+// e.g. a version-cached snapshot — and the entry never enters the LRU, so
+// eviction pressure from immutable datasets can never touch it.
+func (r *Registry) RegisterVolatile(name, desc, source string, load LoadFunc) error {
+	if err := r.RegisterSourced(name, desc, func() (*temporal.Graph, string, error) {
+		g, err := load()
+		return g, source, err
+	}); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	e := r.entries[name]
+	e.volatile = true
+	e.source = source
+	r.mu.Unlock()
+	return nil
+}
+
 // Get returns the named graph, loading it if necessary. Concurrent callers
 // for the same dataset share one load (and a panicking loader resolves as
 // an error instead of wedging the dataset — see group).
@@ -102,6 +127,14 @@ func (r *Registry) Get(name string) (*temporal.Graph, error) {
 	if !ok {
 		r.mu.Unlock()
 		return nil, &UnknownDatasetError{Name: name}
+	}
+	if e.volatile {
+		r.mu.Unlock()
+		// No flight, no residency, no LRU: the loader snapshots live state
+		// (cheaply, cached per version downstream) and two concurrent Gets
+		// may legitimately see different versions.
+		g, _, err := e.load()
+		return g, err
 	}
 	if e.g != nil {
 		r.lru.MoveToFront(e.elem)
@@ -178,6 +211,12 @@ type DatasetInfo struct {
 	Source string `json:"source,omitempty"`
 	Nodes  int    `json:"nodes,omitempty"`
 	Edges  int    `json:"edges,omitempty"`
+	// Live datasets (mutable, fed by /v1/ingest) additionally report their
+	// current version; immutable datasets are implicitly version 1 and omit
+	// both fields. The server fills these in — the registry only knows the
+	// entry is volatile.
+	Live    bool   `json:"live,omitempty"`
+	Version uint64 `json:"version,omitempty"`
 }
 
 // List describes the registered datasets, sorted by name.
@@ -186,7 +225,7 @@ func (r *Registry) List() []DatasetInfo {
 	defer r.mu.Unlock()
 	out := make([]DatasetInfo, 0, len(r.entries))
 	for _, e := range r.entries {
-		info := DatasetInfo{Name: e.name, Desc: e.desc, Loaded: e.g != nil, Source: e.source}
+		info := DatasetInfo{Name: e.name, Desc: e.desc, Loaded: e.g != nil, Source: e.source, Live: e.volatile}
 		if e.g != nil {
 			info.Nodes = e.g.NumNodes()
 			info.Edges = e.g.NumEdges()

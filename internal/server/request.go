@@ -36,8 +36,12 @@ const (
 type Request struct {
 	Kind    Kind
 	Dataset string
-	// Delta is the motif window δ in the dataset's time units (default 600).
-	Delta int64
+	// Delta is the motif window δ in the dataset's time units. The library
+	// accepts δ=0 (only simultaneous edges form motifs), so an explicit
+	// delta=0 is honored; only an *absent* delta defaults to 600 — DeltaSet
+	// records which was meant.
+	Delta    int64
+	DeltaSet bool
 	// Motif restricts a count query to one motif's category and names the
 	// cell to surface as the scalar "count" field (count kind only).
 	Motif string
@@ -62,14 +66,21 @@ func (r *Request) normalize() (motif.Label, error) {
 	if r.Dataset == "" {
 		return motif.Label{}, fmt.Errorf("missing dataset")
 	}
-	if r.Delta == 0 {
+	if !r.DeltaSet && r.Delta == 0 {
 		r.Delta = 600
 	}
+	r.DeltaSet = true // canonical: explicit delta=0 and defaulted 600 both concrete now
 	if r.Delta < 0 {
-		return motif.Label{}, fmt.Errorf("delta must be > 0 (got %d)", r.Delta)
+		return motif.Label{}, fmt.Errorf("delta must be >= 0 (got %d)", r.Delta)
 	}
 	if r.Workers < 0 {
 		return motif.Label{}, fmt.Errorf("workers must be >= 0 (got %d)", r.Workers)
+	}
+	if r.ThrdSet && r.Thrd == 0 {
+		// Explicit thrd=0 means "auto", exactly like leaving it unset (the
+		// library's WithDegreeThreshold(0) contract) — canonicalize so every
+		// consumer (backend options, shard scatter, response echo) agrees.
+		r.ThrdSet = false
 	}
 	var label motif.Label
 	if r.Motif != "" {
@@ -124,7 +135,10 @@ func categoryKey(m string) string {
 	}
 	l, err := motif.ParseLabel(m)
 	if err != nil {
-		return "all" // unreachable after normalize; be permissive
+		// normalize guarantees validity; swallowing the error here would
+		// silently poison the unrestricted "all" cache entry with a
+		// category-restricted matrix. Fail loudly instead.
+		panic(fmt.Sprintf("server: categoryKey(%q) on unvalidated motif: %v", m, err))
 	}
 	switch l.Category() {
 	case motif.CategoryTri:
@@ -171,8 +185,11 @@ func ParseRequest(kind Kind, q url.Values) (Request, motif.Label, error) {
 		Spec:    q.Get("spec"),
 	}
 	var err error
-	if r.Delta, err = intParam(q, "delta"); err != nil {
-		return r, motif.Label{}, err
+	if v := q.Get("delta"); v != "" {
+		if r.Delta, err = strconv.ParseInt(v, 10, 64); err != nil {
+			return r, motif.Label{}, fmt.Errorf("delta: %v", err)
+		}
+		r.DeltaSet = true
 	}
 	w, err := intParam(q, "workers")
 	if err != nil {

@@ -24,9 +24,11 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"hare/internal/higher"
+	"hare/internal/live"
 	"hare/internal/motif"
 	"hare/internal/nullmodel"
 	"hare/internal/query"
@@ -90,6 +92,9 @@ type Server struct {
 	version   string
 	role      string
 	mux       *http.ServeMux
+
+	liveMu sync.RWMutex
+	live   map[string]*live.Dataset
 }
 
 // New returns a Server with no datasets registered.
@@ -113,6 +118,7 @@ func New(opts Options) (*Server, error) {
 		metrics:   newMetrics(),
 		version:   opts.Version,
 		role:      opts.Role,
+		live:      make(map[string]*live.Dataset),
 	}
 	if s.role == "" {
 		s.role = "single"
@@ -123,6 +129,8 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/path4", s.query(KindPath4))
 	s.mux.HandleFunc("/v1/sig", s.query(KindSig))
 	s.mux.HandleFunc("/v1/query", s.query(KindQuery))
+	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("/v1/watch", s.handleWatch)
 	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -153,7 +161,26 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Preload(name string) (*temporal.Graph, error) { return s.registry.Get(name) }
 
 // Datasets lists the registered datasets, as /v1/datasets reports them.
-func (s *Server) Datasets() []DatasetInfo { return s.registry.List() }
+// Live datasets report their current version and dimensions; Loaded means
+// a graph snapshot for the current version is materialized.
+func (s *Server) Datasets() []DatasetInfo {
+	out := s.registry.List()
+	for i := range out {
+		if !out[i].Live {
+			continue
+		}
+		d := s.Live(out[i].Name)
+		if d == nil {
+			continue // registered volatile but not through RegisterLive
+		}
+		out[i].Version = d.Version()
+		if n, e, ok := d.SnapshotDims(); ok {
+			out[i].Loaded = true
+			out[i].Nodes, out[i].Edges = n, e
+		}
+	}
+	return out
+}
 
 // CacheStats exposes the result-cache counters (hits, misses, evictions,
 // coalesced in-flight joins) for tests and load reports.
@@ -210,7 +237,10 @@ func (s *Server) query(kind Kind) http.HandlerFunc {
 		// disconnecting never fails the other members of its coalesced
 		// flight. Only when every request for the key has gone is the
 		// flight canceled, shedding its queued admission wait.
-		val, hit, shared, err := s.cache.Do(r.Context(), req.Key(), func(ctx context.Context) (any, error) {
+		// cacheKey appends the dataset version for live datasets, so an
+		// answer cached at version v is unreachable once an ingest advances
+		// the dataset to v+1 — the entry ages out of the LRU on its own.
+		val, hit, shared, err := s.cache.Do(r.Context(), s.cacheKey(req), func(ctx context.Context) (any, error) {
 			return s.compute(ctx, req)
 		})
 		if err != nil {
@@ -432,7 +462,7 @@ func (s *Server) response(req Request, label motif.Label, res *jobResult, hit, s
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.metrics.observe("datasets", time.Since(start), false) }()
-	writeJSON(w, map[string]any{"datasets": s.registry.List()})
+	writeJSON(w, map[string]any{"datasets": s.Datasets()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

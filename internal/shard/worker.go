@@ -147,7 +147,9 @@ func (w *Worker) handleCompute(rw http.ResponseWriter, r *http.Request) {
 // (an unset or zero threshold selects the automatic heuristic).
 func (w *Worker) higherOpts(sub SubRequest) higher.Options {
 	opts := higher.Options{Workers: sub.Workers}
-	if sub.ThrdSet && sub.Thrd != 0 {
+	// ThrdSet alone decides: normalize canonicalized thrd=0 to unset on the
+	// coordinator, and DegreeThreshold 0 means "auto" here anyway.
+	if sub.ThrdSet {
 		opts.DegreeThreshold = sub.Thrd
 	}
 	return opts

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"hare/internal/higher"
+	"hare/internal/live"
 	"hare/internal/nullmodel"
 	"hare/internal/server"
 	"hare/internal/temporal"
@@ -47,6 +48,30 @@ const (
 // DatasetInfo describes one registered dataset, as listed by /v1/datasets.
 type DatasetInfo = server.DatasetInfo
 
+// LiveDataset is a named mutable dataset: an appendable edge log with an
+// exact online sliding-window motif counter, a monotonic version advancing
+// per accepted ingest batch, and a z-score watch pipeline over the window
+// counts. Create with NewLiveDataset, register with Server.RegisterLive,
+// feed through POST /v1/ingest and watch through GET /v1/watch
+// (docs/LIVE.md).
+type LiveDataset = live.Dataset
+
+// LiveOptions configures NewLiveDataset.
+type LiveOptions = live.Options
+
+// LiveAlert is one significance alert emitted by a live dataset's watch
+// pipeline: a motif whose sliding-window count crossed the trailing
+// ensemble z-score threshold.
+type LiveAlert = live.Alert
+
+// LiveIngestResult reports one accepted ingest batch.
+type LiveIngestResult = live.IngestResult
+
+// NewLiveDataset returns an empty live dataset at version 1.
+func NewLiveDataset(name string, opts LiveOptions) (*LiveDataset, error) {
+	return live.New(name, opts)
+}
+
 // FileLoader returns a dataset loader for Server.Register that wires
 // .hare snapshots into the registry: a text path prefers a "<path>.hare"
 // sibling snapshot when present (falling back to the text file, logged,
@@ -86,7 +111,11 @@ type libraryBackend struct{}
 
 func (libraryBackend) options(req server.Request) []Option {
 	opts := []Option{WithWorkers(req.Workers)}
-	if req.ThrdSet && req.Thrd != 0 {
+	// normalize canonicalizes an explicit thrd=0 to unset (both mean
+	// "auto"), so ThrdSet alone decides — no Thrd != 0 special case that
+	// could make the response's DegreeThreshold echo disagree with the
+	// request.
+	if req.ThrdSet {
 		opts = append(opts, WithDegreeThreshold(req.Thrd))
 	}
 	return opts
