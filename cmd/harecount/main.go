@@ -5,6 +5,7 @@
 //	harecount -input edges.txt [-delta 600] [-workers 0] [-thrd 0]
 //	          [-motif M26] [-query "a->b; a->c; a->d"] [-relabel]
 //	          [-comma] [-stats] [-check] [-load-workers 0]
+//	          [-epsilon 0.05] [-conf 0.95] [-seed 0] [-samples 0]
 //
 // The input format is one "u v t" edge per line (whitespace or, with
 // -comma, comma separated; '#'/'%' comments ignored; ".gz" transparent).
@@ -12,6 +13,11 @@
 // motif spec (compact text or JSON form, see docs/QUERY.md) is compiled
 // and counted; otherwise the full 6×6 matrix is written in the paper's
 // Fig. 2 layout.
+//
+// -epsilon switches -query to the sampling estimator (docs/APPROX.md):
+// the output is an estimate with a confidence interval instead of the
+// exact count. -conf, -seed and -samples refine it and are only valid
+// alongside -epsilon.
 package main
 
 import (
@@ -38,6 +44,10 @@ func main() {
 		stats   = flag.Bool("stats", false, "print graph statistics before counting")
 		check   = flag.Bool("check", false, "validate internal graph invariants after loading")
 		loadW   = flag.Int("load-workers", 0, "parallel ingestion workers (0 = all CPUs, 1 = sequential)")
+		epsilon = flag.Float64("epsilon", 0, "approximate -query with this relative-error target in (0,1); 0 = exact")
+		conf    = flag.Float64("conf", 0, "confidence level for -epsilon intervals (0 = 0.95)")
+		seed    = flag.Int64("seed", 0, "sampling seed for -epsilon")
+		samples = flag.Int("samples", 0, "pin the -epsilon draw budget (0 = sized from epsilon)")
 		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -70,7 +80,29 @@ func main() {
 			usageErr("-query: %v", err)
 		}
 	}
-	if err := run(*input, *delta, *workers, *thrd, *only, spec, *relabel, *comma, *stats, *check, *loadW); err != nil {
+	var approx *hare.ApproxOptions
+	if *epsilon != 0 || *conf != 0 || *seed != 0 || *samples != 0 {
+		if spec == nil {
+			usageErr("-epsilon, -conf, -seed and -samples require -query")
+		}
+		if *epsilon <= 0 || *epsilon >= 1 {
+			usageErr("-epsilon must be in (0, 1) (got %v)", *epsilon)
+		}
+		if *conf < 0 || *conf >= 1 {
+			usageErr("-conf must be in (0, 1) (got %v; 0 = 0.95)", *conf)
+		}
+		if *samples < 0 {
+			usageErr("-samples must be >= 0 (got %d)", *samples)
+		}
+		approx = &hare.ApproxOptions{
+			Epsilon:    *epsilon,
+			Confidence: *conf,
+			Seed:       *seed,
+			Samples:    *samples,
+			Workers:    *workers,
+		}
+	}
+	if err := run(*input, *delta, *workers, *thrd, *only, spec, approx, *relabel, *comma, *stats, *check, *loadW); err != nil {
 		fmt.Fprintln(os.Stderr, "harecount:", err)
 		os.Exit(1)
 	}
@@ -92,7 +124,7 @@ func parseQuerySpec(q string) (*hare.MotifSpec, error) {
 	return hare.ParseSpec(q)
 }
 
-func run(input string, delta int64, workers, thrd int, only string, spec *hare.MotifSpec, relabel, comma, stats, check bool, loadWorkers int) error {
+func run(input string, delta int64, workers, thrd int, only string, spec *hare.MotifSpec, approx *hare.ApproxOptions, relabel, comma, stats, check bool, loadWorkers int) error {
 	g, err := hare.LoadFile(input, hare.LoadOptions{Relabel: relabel, Comma: comma, Workers: loadWorkers})
 	if err != nil {
 		return err
@@ -113,6 +145,17 @@ func run(input string, delta int64, workers, thrd int, only string, spec *hare.M
 	}
 	if spec != nil {
 		start := time.Now()
+		if approx != nil {
+			res, err := hare.CountMotifApprox(g, spec, delta, *approx)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s ≈ %.1f [%.1f, %.1f] at %g%% confidence (%d draws, %d/%d strata exact, in %v)\n",
+				spec.Canonical(), res.Total.Estimate, res.Total.Low, res.Total.High,
+				res.Confidence*100, res.Draws, res.ExactStrata, res.Strata,
+				time.Since(start).Round(time.Microsecond))
+			return nil
+		}
 		n, err := hare.CountMotif(g, spec, delta, opts...)
 		if err != nil {
 			return err

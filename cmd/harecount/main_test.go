@@ -61,6 +61,28 @@ func TestQueryFlagCountsAndCanonicalizes(t *testing.T) {
 	}
 }
 
+// TestEpsilonFlagEstimates drives -epsilon: on a graph this small the plan
+// saturates, so the estimate prints as the exact count with a zero-width
+// interval — and the flag surface validates like every other flag.
+func TestEpsilonFlagEstimates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary e2e skipped under -short")
+	}
+	bin := buildHarecount(t)
+	edges := triangleFile(t)
+	out, err := exec.Command(bin, "-input", edges, "-delta", "600",
+		"-query", "a->b; b->c; c->a", "-epsilon", "0.05", "-seed", "7").CombinedOutput()
+	if err != nil {
+		t.Fatalf("harecount -epsilon: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "a->b; b->c; c->a ≈ 1.0 [1.0, 1.0]") {
+		t.Errorf("output missing saturated estimate:\n%s", out)
+	}
+	if !strings.Contains(string(out), "95% confidence") {
+		t.Errorf("output missing confidence level:\n%s", out)
+	}
+}
+
 func TestQueryFlagValidationExitsTwo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("binary e2e skipped under -short")
@@ -72,6 +94,10 @@ func TestQueryFlagValidationExitsTwo(t *testing.T) {
 		{"-input", edges, "-query", "nonsense"},                          // syntax
 		{"-input", edges, "-query", "a->b; b->c"},                        // too few edges
 		{"-input", edges, "-query", "a->b; b->c; c->a", "-motif", "M26"}, // exclusive flags
+		{"-input", edges, "-epsilon", "0.05"},                            // epsilon without -query
+		{"-input", edges, "-query", "a->b; b->c; c->a", "-epsilon", "2"}, // epsilon out of range
+		{"-input", edges, "-query", "a->b; b->c; c->a", "-epsilon", "0.05", "-conf", "1"},
+		{"-input", edges, "-query", "a->b; b->c; c->a", "-seed", "3"}, // seed without epsilon
 	}
 	for _, args := range cases {
 		out, err := exec.Command(bin, args...).CombinedOutput()

@@ -10,6 +10,7 @@
 package ews
 
 import (
+	"math"
 	"math/rand"
 
 	"hare/internal/baseline/bt"
@@ -43,44 +44,80 @@ func (o Options) q() float64 {
 	return 1
 }
 
-// Estimate approximates the instance counts of the given motif labels.
-func Estimate(g *temporal.Graph, delta temporal.Timestamp, labels []motif.Label, opts Options) map[motif.Label]float64 {
-	p, q := opts.p(), opts.q()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	sampled := make([]temporal.EdgeID, 0, int(float64(g.NumEdges())*p)+1)
-	for id := 0; id < g.NumEdges(); id++ {
-		if rng.Float64() < p {
+// sampleAnchors draws the Bernoulli(p) anchor set by geometric
+// skip-sampling: the gap to the next accepted edge is geometric with
+// success probability p, so one uniform draw per ACCEPTED edge replaces
+// one per edge — O(pm) RNG work instead of O(m), the dominant cost at the
+// paper's p = 0.01 scales. The accepted set is still an exact Bernoulli(p)
+// sample in ascending edge order.
+func sampleAnchors(rng *rand.Rand, m int, p float64) []temporal.EdgeID {
+	sampled := make([]temporal.EdgeID, 0, int(float64(m)*p)+1)
+	if p >= 1 {
+		for id := 0; id < m; id++ {
 			sampled = append(sampled, temporal.EdgeID(id))
 		}
+		return sampled
 	}
+	logKeep := math.Log1p(-p) // log(1-p), strictly negative for p in (0,1)
+	id := -1
+	for {
+		// skip ~ Geometric(p): floor(log(1-U)/log(1-p)), U uniform [0,1).
+		skip := int(math.Log1p(-rng.Float64()) / logKeep)
+		id += 1 + skip
+		if id >= m {
+			return sampled
+		}
+		sampled = append(sampled, temporal.EdgeID(id))
+	}
+}
+
+// Estimate approximates the instance counts of the given motif labels and
+// reports, per label, an unbiased estimate of each estimate's sampling
+// variance.
+//
+// The two sampling stages compose into one Bernoulli(r) thinning with
+// r = p·q (an anchor contributes iff both coins land), each kept anchor
+// contributing its exact first-edge match count m re-weighted by 1/r. The
+// variance of such a thinned sum is (1-r)/r · Σ m² over all anchors, whose
+// unbiased sample estimate is (1-r)/r² · Σ m² over the KEPT anchors — the
+// value returned. At r = 1 the estimator degenerates to the exact count
+// and the variance to zero.
+func Estimate(g *temporal.Graph, delta temporal.Timestamp, labels []motif.Label, opts Options) (est, variance map[motif.Label]float64) {
+	p, q := opts.p(), opts.q()
+	r := p * q
+	rng := rand.New(rand.NewSource(opts.Seed))
+	sampled := sampleAnchors(rng, g.NumEdges(), p)
 	// A second RNG stream decides wedge (second-edge) retention so that the
 	// decision sequence is independent of the anchor draw.
 	wedgeRng := rand.New(rand.NewSource(opts.Seed ^ 0x5851f42d4c957f2d))
 
-	out := make(map[motif.Label]float64, len(labels))
+	est = make(map[motif.Label]float64, len(labels))
+	variance = make(map[motif.Label]float64, len(labels))
+	varScale := (1 - r) / (r * r)
 	for _, l := range labels {
 		pat, ok := bt.PatternOf(l)
 		if !ok {
 			continue
 		}
-		var sum float64
+		var sum, sumSq float64
 		for _, id := range sampled {
-			if q >= 1 {
-				sum += float64(bt.MatchFrom(g, delta, pat, id, nil))
+			if q < 1 && wedgeRng.Float64() >= q {
+				// Wedge-sampled variant: this anchor's expansion is dropped
+				// (and re-weighted by 1/q on the kept ones below).
 				continue
 			}
-			// Wedge-sampled variant: keep this anchor's expansion with
-			// probability q and re-weight.
-			if wedgeRng.Float64() < q {
-				sum += float64(bt.MatchFrom(g, delta, pat, id, nil)) / q
-			}
+			m := float64(bt.MatchFrom(g, delta, pat, id, nil))
+			sum += m
+			sumSq += m * m
 		}
-		out[l] = sum / p
+		est[l] = sum / r
+		variance[l] = varScale * sumSq
 	}
-	return out
+	return est, variance
 }
 
-// EstimateAll approximates all 36 motif counts ("EWS" in Table III).
-func EstimateAll(g *temporal.Graph, delta temporal.Timestamp, opts Options) map[motif.Label]float64 {
+// EstimateAll approximates all 36 motif counts ("EWS" in Table III), with
+// per-label variance estimates as in Estimate.
+func EstimateAll(g *temporal.Graph, delta temporal.Timestamp, opts Options) (est, variance map[motif.Label]float64) {
 	return Estimate(g, delta, motif.AllLabels(), opts)
 }

@@ -24,19 +24,48 @@ func randomGraph(r *rand.Rand, nodes, edges int, span int64) *temporal.Graph {
 }
 
 // p=1, q=1 degenerates to the exact count: every instance is found from its
-// unique first edge with weight 1.
+// unique first edge with weight 1 — and the variance estimate must be zero.
 func TestDegenerateExact(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 10; trial++ {
 		g := randomGraph(r, 3+r.Intn(8), 1+r.Intn(120), 40)
 		delta := int64(r.Intn(25))
 		want := brute.Count(g, delta)
-		got := EstimateAll(g, delta, Options{P: 1, Q: 1})
+		got, v := EstimateAll(g, delta, Options{P: 1, Q: 1})
 		for _, l := range motif.AllLabels() {
 			if math.Abs(got[l]-float64(want.At(l))) > 1e-9 {
 				t.Fatalf("trial %d: %v = %f, want %d", trial, l, got[l], want.At(l))
 			}
+			if v[l] != 0 {
+				t.Fatalf("trial %d: %v variance = %f at r=1, want 0", trial, l, v[l])
+			}
 		}
+	}
+}
+
+// The skip-sampled anchor set must be a faithful Bernoulli(p) draw: an
+// unbiased count of edges, all ids in range, strictly ascending.
+func TestSkipSamplingIsBernoulli(t *testing.T) {
+	const m, p, seeds = 400, 0.15, 300
+	var total int
+	for s := int64(0); s < seeds; s++ {
+		rng := rand.New(rand.NewSource(s))
+		sampled := sampleAnchors(rng, m, p)
+		total += len(sampled)
+		prev := temporal.EdgeID(-1)
+		for _, id := range sampled {
+			if id <= prev || int(id) >= m {
+				t.Fatalf("seed %d: sample not an ascending in-range set: %v", s, sampled)
+			}
+			prev = id
+		}
+	}
+	mean := float64(total) / seeds
+	want := p * m
+	// Binomial sd per draw is sqrt(m·p·(1-p)) ≈ 7.1; over 300 seeds the
+	// standard error of the mean is ≈ 0.41, so ±1.5 is a >3σ tolerance.
+	if math.Abs(mean-want) > 1.5 {
+		t.Fatalf("mean sample size %.2f, want %.2f", mean, want)
 	}
 }
 
@@ -52,7 +81,7 @@ func TestUnbiasedOverSeeds(t *testing.T) {
 	const seeds = 120
 	var sum float64
 	for s := int64(0); s < seeds; s++ {
-		est := EstimateAll(g, delta, Options{P: 0.3, Seed: s})
+		est, _ := EstimateAll(g, delta, Options{P: 0.3, Seed: s})
 		for _, v := range est {
 			sum += v
 		}
@@ -60,6 +89,53 @@ func TestUnbiasedOverSeeds(t *testing.T) {
 	mean := sum / seeds
 	if rel := math.Abs(mean-truth) / truth; rel > 0.2 {
 		t.Fatalf("mean estimate %.1f vs truth %.1f (rel err %.2f)", mean, truth, rel)
+	}
+}
+
+// The reported per-label variance must track the empirically observed
+// variance of that label's estimate across seeds — within a factor of two,
+// which a wrong scale factor (e.g. a missing 1/r) would blow through. The
+// comparison is per label because distinct labels share one anchor draw and
+// therefore covary; their variances do not add up to the total's.
+func TestVarianceTracksEmpirical(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := randomGraph(r, 10, 500, 300)
+	delta := int64(20)
+	const seeds = 200
+	ests := make(map[motif.Label][]float64)
+	reported := make(map[motif.Label]float64)
+	for s := int64(0); s < seeds; s++ {
+		est, v := EstimateAll(g, delta, Options{P: 0.3, Seed: s})
+		for l, e := range est {
+			ests[l] = append(ests[l], e)
+			reported[l] += v[l]
+		}
+	}
+	checked := 0
+	for l, xs := range ests {
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= seeds
+		var empirical float64
+		for _, x := range xs {
+			empirical += (x - mean) * (x - mean)
+		}
+		empirical /= seeds - 1
+		// Only labels with a stable empirical variance make a meaningful
+		// comparison; rare labels are dominated by sampling noise.
+		if mean < 50 || empirical == 0 {
+			continue
+		}
+		checked++
+		if ratio := reported[l] / seeds / empirical; ratio < 0.5 || ratio > 2 {
+			t.Errorf("%v: reported variance %.1f vs empirical %.1f (ratio %.2f)",
+				l, reported[l]/seeds, empirical, ratio)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no label had enough mass to check — regenerate the graph")
 	}
 }
 
@@ -75,7 +151,7 @@ func TestWedgeSamplingUnbiased(t *testing.T) {
 	const seeds = 150
 	var sum float64
 	for s := int64(0); s < seeds; s++ {
-		est := EstimateAll(g, delta, Options{P: 0.5, Q: 0.5, Seed: s})
+		est, _ := EstimateAll(g, delta, Options{P: 0.5, Q: 0.5, Seed: s})
 		for _, v := range est {
 			sum += v
 		}
@@ -89,20 +165,20 @@ func TestWedgeSamplingUnbiased(t *testing.T) {
 func TestDeterministicForSeed(t *testing.T) {
 	r := rand.New(rand.NewSource(4))
 	g := randomGraph(r, 8, 200, 150)
-	a := EstimateAll(g, 15, Options{P: 0.4, Seed: 9})
-	b := EstimateAll(g, 15, Options{P: 0.4, Seed: 9})
+	a, av := EstimateAll(g, 15, Options{P: 0.4, Seed: 9})
+	b, bv := EstimateAll(g, 15, Options{P: 0.4, Seed: 9})
 	for l, v := range a {
-		if b[l] != v {
+		if b[l] != v || av[l] != bv[l] {
 			t.Fatalf("%v differs across identical runs", l)
 		}
 	}
 }
 
 func TestEmptyGraph(t *testing.T) {
-	out := EstimateAll(temporal.FromEdges(nil), 10, Options{})
-	for l, v := range out {
-		if v != 0 {
-			t.Fatalf("%v = %f on empty graph", l, v)
+	out, v := EstimateAll(temporal.FromEdges(nil), 10, Options{})
+	for l, x := range out {
+		if x != 0 || v[l] != 0 {
+			t.Fatalf("%v = %f (var %f) on empty graph", l, x, v[l])
 		}
 	}
 }

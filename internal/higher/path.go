@@ -166,6 +166,14 @@ func CountPaths(g *temporal.Graph, delta temporal.Timestamp) PathCounter {
 	return out
 }
 
+// CountPathMiddle adds to out every path instance whose structural middle
+// is the given edge — the same per-edge unit CountPath4Range schedules,
+// exposed so samplers (internal/approx) can evaluate a single pivot without
+// paying a full range dispatch per draw.
+func CountPathMiddle(g *temporal.Graph, mid temporal.EdgeID, delta temporal.Timestamp, out *PathCounter) {
+	countPathsMiddle(g, mid, delta, out)
+}
+
 // countPathsMiddle tallies every path instance whose structural middle is
 // the given edge. Each instance has a unique middle, so per-edge tallies
 // sum without correction — the unit of work for the parallel CountPath4.

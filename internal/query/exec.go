@@ -1,6 +1,7 @@
 package query
 
 import (
+	"hare/internal/fast"
 	"hare/internal/higher"
 	"hare/internal/temporal"
 )
@@ -21,6 +22,19 @@ func (p *Plan) Domain(g *temporal.Graph) int {
 // counters. The result is exact and bit-identical at any worker count.
 func (p *Plan) Execute(g *temporal.Graph, delta temporal.Timestamp, opts Options) uint64 {
 	return p.ExecuteRange(g, delta, opts, 0, p.Domain(g))
+}
+
+// PivotCount counts the instances bound to one pivot ID: the per-center
+// cell for PlanCenter (id is a node), the per-pivot-edge tally for PlanEdge
+// (id is an edge). ExecuteRange over any ID set equals the sum of
+// PivotCount over it; samplers (internal/approx) call this per draw,
+// reusing one scratch across draws instead of paying a range dispatch each.
+func (p *Plan) PivotCount(g *temporal.Graph, delta temporal.Timestamp, id int, scratch *fast.Scratch) uint64 {
+	if p.kind == PlanCenter {
+		s4, _ := higher.CountNode(g, temporal.NodeID(id), delta, scratch)
+		return s4.At(p.dirs[0], p.dirs[1], p.dirs[2])
+	}
+	return p.countPivotEdge(g, temporal.EdgeID(id), delta)
 }
 
 // padCount keeps per-worker tallies on separate cache lines; the merge sums

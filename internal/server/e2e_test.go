@@ -58,6 +58,117 @@ func e2eGraph(t testing.TB) *hare.Graph {
 	return g
 }
 
+// TestEndToEndApprox drives epsilon= through the real serving stack: the
+// served estimate and interval equal a direct library call bit for bit,
+// the interval covers the exact count, and the exact responses stay
+// byte-for-byte free of approx fields.
+func TestEndToEndApprox(t *testing.T) {
+	g := e2eGraph(t)
+	srv, err := hare.NewServer(hare.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterGraph("college", "e2e graph", g); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	type approxBody struct {
+		Approx     bool     `json:"approx"`
+		Epsilon    float64  `json:"epsilon"`
+		Confidence float64  `json:"confidence"`
+		Estimate   *float64 `json:"estimate"`
+		CILow      *float64 `json:"ci_low"`
+		CIHigh     *float64 `json:"ci_high"`
+		Intervals  map[string]struct {
+			Estimate float64 `json:"estimate"`
+			Low      float64 `json:"low"`
+			High     float64 `json:"high"`
+		} `json:"intervals"`
+		Total  uint64 `json:"total"`
+		Cached bool   `json:"cached"`
+	}
+	fetch := func(path string) (approxBody, []byte) {
+		t.Helper()
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, data)
+		}
+		var body approxBody
+		if err := json.Unmarshal(data, &body); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body, data
+	}
+
+	exact, err := hare.CountStar4(g, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := hare.CountStar4Approx(g, 600, hare.ApproxOptions{Epsilon: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := fetch("/v1/star4?dataset=college&delta=600&epsilon=0.05&seed=3")
+	if !body.Approx || body.Estimate == nil || body.CILow == nil || body.CIHigh == nil {
+		t.Fatalf("approx response incomplete: %+v", body)
+	}
+	if *body.Estimate != direct.Total.Estimate || *body.CILow != direct.Total.Low || *body.CIHigh != direct.Total.High {
+		t.Errorf("served interval (%v [%v, %v]) != direct library call (%v [%v, %v])",
+			*body.Estimate, *body.CILow, *body.CIHigh,
+			direct.Total.Estimate, direct.Total.Low, direct.Total.High)
+	}
+	if got, want := float64(exact.Total()), 0.0; *body.CILow > got+want || *body.CIHigh < got {
+		t.Errorf("interval [%v, %v] misses exact count %v", *body.CILow, *body.CIHigh, exact.Total())
+	}
+	if len(body.Intervals) != 8 {
+		t.Fatalf("star4 intervals = %d cells, want 8", len(body.Intervals))
+	}
+	for i, iv := range direct.Cells {
+		d1, d2, d3 := motif.PairDirs(i)
+		key := fmt.Sprintf("%s,%s,%s", d1, d2, d3)
+		got, ok := body.Intervals[key]
+		if !ok || got.Estimate != iv.Estimate || got.Low != iv.Low || got.High != iv.High {
+			t.Errorf("cell %s: served %+v, direct %+v", key, got, iv)
+		}
+	}
+
+	// The exact response is byte-stable and approx-free regardless of
+	// approx traffic against the same dataset.
+	_, before := fetch("/v1/star4?dataset=college&delta=600")
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(before, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"approx", "epsilon", "confidence", "estimate", "ci_low", "ci_high", "intervals"} {
+		if _, ok := raw[k]; ok {
+			t.Errorf("exact response carries approx field %q", k)
+		}
+	}
+
+	// Approx query kind over the pivot-edge family round-trips too.
+	spec := "a->b; b->c; c->d"
+	parsed, err := hare.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qDirect, err := hare.CountMotifApprox(g, parsed, 600, hare.ApproxOptions{Epsilon: 0.05, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qBody, _ := fetch("/v1/query?dataset=college&delta=600&spec=a-%3Eb,b-%3Ec,c-%3Ed&epsilon=0.05&seed=11")
+	if qBody.Estimate == nil || *qBody.Estimate != qDirect.Total.Estimate ||
+		*qBody.CILow != qDirect.Total.Low || *qBody.CIHigh != qDirect.Total.High {
+		t.Errorf("served query interval %+v != direct %+v", qBody, qDirect.Total)
+	}
+}
+
 func TestEndToEndConcurrentMixedQueries(t *testing.T) {
 	g := e2eGraph(t)
 	srv, err := hare.NewServer(hare.ServerOptions{})

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"hare/internal/approx"
 	"hare/internal/motif"
 	"hare/internal/nullmodel"
 	"hare/internal/query"
@@ -58,6 +59,17 @@ type Request struct {
 	// form or the JSON form (docs/QUERY.md). normalize rewrites it to the
 	// canonical text, so isomorphic specs share one cache key.
 	Spec string
+	// Approximate-mode knobs (star4, path4 and query kinds; docs/APPROX.md).
+	// An epsilon parameter switches the request to the sampling estimator;
+	// EpsilonSet records that the switch happened (epsilon, confidence, seed
+	// and samples then join the cache key — they change the answer). Exact
+	// requests leave every approx field zero and their keys byte-unchanged.
+	// Samples and Seed are shared with the sig kind: samples pins the draw
+	// budget (overriding epsilon sizing), seed fixes the streams.
+	Epsilon    float64
+	EpsilonSet bool
+	Conf       float64
+	ConfSet    bool
 }
 
 // normalize applies defaults and validates the request. It returns the
@@ -108,6 +120,37 @@ func (r *Request) normalize() (motif.Label, error) {
 		// unchanged for the query kind.
 		r.Spec = s.Canonical()
 	}
+	if r.ConfSet && !r.EpsilonSet {
+		return motif.Label{}, fmt.Errorf("conf applies only with epsilon")
+	}
+	if r.EpsilonSet {
+		switch r.Kind {
+		case KindStar4, KindPath4, KindQuery:
+		default:
+			return motif.Label{}, fmt.Errorf("epsilon applies only to star4, path4 and query requests")
+		}
+		if !(r.Epsilon > 0 && r.Epsilon < 1) {
+			return motif.Label{}, fmt.Errorf("epsilon must be in (0, 1) (got %v)", r.Epsilon)
+		}
+		if !r.ConfSet {
+			// Canonical: the default confidence is concrete in the request
+			// (and its cache key), like the defaulted delta above.
+			r.Conf, r.ConfSet = approx.DefaultConfidence, true
+		}
+		if !(r.Conf > 0 && r.Conf < 1) {
+			return motif.Label{}, fmt.Errorf("conf must be in (0, 1) (got %v)", r.Conf)
+		}
+		if r.Samples < 0 {
+			return motif.Label{}, fmt.Errorf("samples must be >= 0 (got %d)", r.Samples)
+		}
+	} else if r.Kind == KindStar4 || r.Kind == KindPath4 {
+		if r.Samples != 0 {
+			return motif.Label{}, fmt.Errorf("samples applies only with epsilon or to sig requests")
+		}
+		if r.Seed != 0 {
+			return motif.Label{}, fmt.Errorf("seed applies only with epsilon or to sig requests")
+		}
+	}
 	if r.Kind == KindSig {
 		if r.Model == "" {
 			r.Model = nullmodel.TimeShuffle.String()
@@ -150,7 +193,9 @@ func categoryKey(m string) string {
 
 // Key returns the canonical cache key: every field that can change the
 // answer, and none that cannot. Two requests with equal keys are satisfied
-// by one computation.
+// by one computation. Approx-mode keys append every estimator knob; exact
+// keys are byte-for-byte what they were before the approx tier existed, so
+// exact entries cached by older clients stay addressable.
 func (r *Request) Key() string {
 	switch r.Kind {
 	case KindSig:
@@ -160,10 +205,19 @@ func (r *Request) Key() string {
 	case KindQuery:
 		// r.Spec is canonical after normalize, so every isomorphic spelling
 		// of a motif shares one cache entry.
-		return fmt.Sprintf("query|%s|%d|%s", r.Dataset, r.Delta, r.Spec)
+		return fmt.Sprintf("query|%s|%d|%s", r.Dataset, r.Delta, r.Spec) + r.approxKey()
 	default:
-		return fmt.Sprintf("%s|%s|%d", r.Kind, r.Dataset, r.Delta)
+		return fmt.Sprintf("%s|%s|%d", r.Kind, r.Dataset, r.Delta) + r.approxKey()
 	}
+}
+
+// approxKey is the estimator-knob key fragment: empty in exact mode (so
+// exact keys never change), every answer-shaping knob otherwise.
+func (r *Request) approxKey() string {
+	if !r.EpsilonSet {
+		return ""
+	}
+	return fmt.Sprintf("|eps%g|conf%g|seed%d|m%d", r.Epsilon, r.Conf, r.Seed, r.Samples)
 }
 
 // parseSpecParam accepts both spec forms in one parameter: inputs starting
@@ -210,6 +264,18 @@ func ParseRequest(kind Kind, q url.Values) (Request, motif.Label, error) {
 	r.Samples = int(s)
 	if r.Seed, err = intParam(q, "seed"); err != nil {
 		return r, motif.Label{}, err
+	}
+	if v := q.Get("epsilon"); v != "" {
+		if r.Epsilon, err = strconv.ParseFloat(v, 64); err != nil {
+			return r, motif.Label{}, fmt.Errorf("epsilon: %v", err)
+		}
+		r.EpsilonSet = true
+	}
+	if v := q.Get("conf"); v != "" {
+		if r.Conf, err = strconv.ParseFloat(v, 64); err != nil {
+			return r, motif.Label{}, fmt.Errorf("conf: %v", err)
+		}
+		r.ConfSet = true
 	}
 	label, err := r.normalize()
 	return r, label, err

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"hare/internal/approx"
 	"hare/internal/higher"
 	"hare/internal/live"
 	"hare/internal/motif"
@@ -49,6 +50,14 @@ type Backend interface {
 	// Query counts the instances of req.Spec (canonical after normalize,
 	// guaranteed to parse) within δ — the compiled-plan kind (/v1/query).
 	Query(ctx context.Context, g *temporal.Graph, req Request) (uint64, error)
+	// Star4Approx, Path4Approx and QueryApprox serve the same three kinds
+	// in approximate mode (req.EpsilonSet): a sampled estimate with
+	// confidence intervals instead of the exact count. Determinism still
+	// holds — the result is a pure function of (g, δ, epsilon, conf, seed,
+	// samples), never of req.Workers (docs/APPROX.md).
+	Star4Approx(ctx context.Context, g *temporal.Graph, req Request) (*approx.Result, error)
+	Path4Approx(ctx context.Context, g *temporal.Graph, req Request) (*approx.Result, error)
+	QueryApprox(ctx context.Context, g *temporal.Graph, req Request) (*approx.Result, error)
 }
 
 // CountAnswer is a Backend.Count result: the exact matrix plus the
@@ -213,7 +222,8 @@ type jobResult struct {
 	star4  *higher.Star4Counter
 	path4  *higher.PathCounter
 	sig    *nullmodel.Report
-	motifs *uint64 // query kind: the compiled-spec count
+	motifs *uint64        // query kind: the compiled-spec count
+	approx *approx.Result // approx mode of star4/path4/query (req.EpsilonSet)
 }
 
 // query returns the handler for one query kind.
@@ -291,12 +301,28 @@ func (s *Server) compute(ctx context.Context, req Request) (any, error) {
 		}
 		res.count = &ans
 	case KindStar4:
+		if req.EpsilonSet {
+			a, err := s.backend.Star4Approx(ctx, g, req)
+			if err != nil {
+				return nil, err
+			}
+			res.approx = a
+			break
+		}
 		c, err := s.backend.Star4(ctx, g, req)
 		if err != nil {
 			return nil, err
 		}
 		res.star4 = &c
 	case KindPath4:
+		if req.EpsilonSet {
+			a, err := s.backend.Path4Approx(ctx, g, req)
+			if err != nil {
+				return nil, err
+			}
+			res.approx = a
+			break
+		}
 		c, err := s.backend.Path4(ctx, g, req)
 		if err != nil {
 			return nil, err
@@ -309,6 +335,14 @@ func (s *Server) compute(ctx context.Context, req Request) (any, error) {
 		}
 		res.sig = rep
 	case KindQuery:
+		if req.EpsilonSet {
+			a, err := s.backend.QueryApprox(ctx, g, req)
+			if err != nil {
+				return nil, err
+			}
+			res.approx = a
+			break
+		}
 		n, err := s.backend.Query(ctx, g, req)
 		if err != nil {
 			return nil, err
@@ -351,6 +385,23 @@ type queryResponse struct {
 	Spec  string `json:"spec,omitempty"`
 	Pivot string `json:"pivot,omitempty"`
 
+	// Approximate mode (epsilon= on star4/path4/query; docs/APPROX.md).
+	// Estimate/CILow/CIHigh carry the total count's interval; Intervals
+	// holds the per-cell intervals under the same keys Patterns/Paths use;
+	// Total rounds the estimate for clients that only read the exact field.
+	// Every approx field is omitted from exact responses, which stay
+	// byte-for-byte what they were before the approx tier existed.
+	Approx            bool                       `json:"approx,omitempty"`
+	Epsilon           float64                    `json:"epsilon,omitempty"`
+	Confidence        float64                    `json:"confidence,omitempty"`
+	Estimate          *float64                   `json:"estimate,omitempty"`
+	CILow             *float64                   `json:"ci_low,omitempty"`
+	CIHigh            *float64                   `json:"ci_high,omitempty"`
+	Intervals         map[string]approx.Interval `json:"intervals,omitempty"`
+	ApproxSamples     int                        `json:"approx_samples,omitempty"`
+	ApproxStrata      int                        `json:"approx_strata,omitempty"`
+	ApproxExactStrata int                        `json:"approx_exact_strata,omitempty"`
+
 	Model   string     `json:"model,omitempty"`
 	Samples int        `json:"samples,omitempty"`
 	Seed    *int64     `json:"seed,omitempty"`
@@ -390,6 +441,10 @@ func (s *Server) response(req Request, label motif.Label, res *jobResult, hit, s
 		ElapsedMS:    float64(res.elapsed.Nanoseconds()) / 1e6,
 		Cached:       hit,
 		Coalesced:    shared,
+	}
+	if res.approx != nil {
+		s.renderApprox(out, req, res.approx)
+		return out
 	}
 	switch req.Kind {
 	case KindCount:
@@ -457,6 +512,49 @@ func (s *Server) response(req Request, label motif.Label, res *jobResult, hit, s
 		}
 	}
 	return out
+}
+
+// renderApprox fills the approx-mode response fields from a finished
+// estimate. Per-cell intervals reuse the exact endpoints' cell names, so a
+// client can line an estimate up against the exact answer key-for-key.
+func (s *Server) renderApprox(out *queryResponse, req Request, a *approx.Result) {
+	out.Approx = true
+	out.Epsilon = req.Epsilon
+	out.Confidence = req.Conf
+	t := a.Total
+	out.Estimate, out.CILow, out.CIHigh = &t.Estimate, &t.Low, &t.High
+	out.Total = uint64(math.Round(t.Estimate))
+	out.ApproxSamples = a.Draws
+	out.ApproxStrata = a.Strata
+	out.ApproxExactStrata = a.ExactStrata
+	// Per-cell intervals render only when the backend returned the kind's
+	// full cell layout (8 star patterns, 48 path slots) — a backend serving
+	// totals only still gets a well-formed envelope.
+	switch req.Kind {
+	case KindStar4:
+		if len(a.Cells) < 8 {
+			return
+		}
+		out.Intervals = make(map[string]approx.Interval, 8)
+		for i := 0; i < 8; i++ {
+			d1, d2, d3 := motif.PairDirs(i)
+			out.Intervals[fmt.Sprintf("%s,%s,%s", d1, d2, d3)] = a.Cells[i]
+		}
+	case KindPath4:
+		labels := higher.AllPathLabels()
+		if len(a.Cells) < 48 {
+			return
+		}
+		out.Intervals = make(map[string]approx.Interval, len(labels))
+		for _, l := range labels {
+			out.Intervals[l.String()] = a.Cells[int(l)]
+		}
+	case KindQuery:
+		out.Spec = req.Spec
+		if sp, err := query.ParseSpec(req.Spec); err == nil {
+			out.Pivot = query.Compile(sp).Kind().String()
+		}
+	}
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {

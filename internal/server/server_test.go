@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"hare/internal/approx"
 	"hare/internal/higher"
 	"hare/internal/motif"
 	"hare/internal/nullmodel"
@@ -75,6 +76,39 @@ func (f *fakeBackend) Query(_ context.Context, g *temporal.Graph, req Request) (
 	f.enter()
 	defer f.exit()
 	return uint64(req.Delta) * 5, nil
+}
+
+// approxFake builds a recognizable fake estimate: total = δ·scale with a
+// ±1 interval, one cell, 5 draws over 2 strata (1 exact).
+func approxFake(req Request, scale uint64) *approx.Result {
+	est := float64(req.Delta * int64(scale))
+	return &approx.Result{
+		Cells:       []approx.Interval{{Estimate: est, Low: est - 1, High: est + 1}},
+		Total:       approx.Interval{Estimate: est, Low: est - 1, High: est + 1},
+		Draws:       5,
+		Strata:      2,
+		ExactStrata: 1,
+		Epsilon:     req.Epsilon,
+		Confidence:  req.Conf,
+	}
+}
+
+func (f *fakeBackend) Star4Approx(_ context.Context, g *temporal.Graph, req Request) (*approx.Result, error) {
+	f.enter()
+	defer f.exit()
+	return approxFake(req, 2), nil
+}
+
+func (f *fakeBackend) Path4Approx(_ context.Context, g *temporal.Graph, req Request) (*approx.Result, error) {
+	f.enter()
+	defer f.exit()
+	return approxFake(req, 3), nil
+}
+
+func (f *fakeBackend) QueryApprox(_ context.Context, g *temporal.Graph, req Request) (*approx.Result, error) {
+	f.enter()
+	defer f.exit()
+	return approxFake(req, 5), nil
 }
 
 func (f *fakeBackend) Significance(_ context.Context, g *temporal.Graph, req Request) (*nullmodel.Report, error) {
@@ -647,6 +681,140 @@ func TestQueryEndpointSharesCanonicalCacheEntry(t *testing.T) {
 	code, body = get(t, s, "/v1/query?dataset=tiny&delta=200&spec=q-%3Er,q-%3Es,q-%3Et")
 	if code != http.StatusOK || body["pivot"].(string) != "center" {
 		t.Fatalf("star query = %d %v, want pivot=center", code, body)
+	}
+}
+
+// TestApproxKeysAndValidation pins the approx request surface: exact keys
+// stay byte-for-byte what they were before the approx tier existed, approx
+// keys carry every estimator knob, and the knob validation rejections.
+func TestApproxKeysAndValidation(t *testing.T) {
+	exact := Request{Kind: KindStar4, Dataset: "d", Delta: 600}
+	if got, want := exact.Key(), "star4|d|600"; got != want {
+		t.Fatalf("exact star4 key = %q, want %q", got, want)
+	}
+	req, _, err := ParseRequest(KindStar4, url.Values{"dataset": {"d"}, "epsilon": {"0.05"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := req.Key(), "star4|d|600|eps0.05|conf0.95|seed0|m0"; got != want {
+		t.Fatalf("approx star4 key = %q, want %q", got, want)
+	}
+	if req.Conf != 0.95 || !req.ConfSet {
+		t.Fatalf("default confidence not canonicalized: %+v", req)
+	}
+	// Every knob is answer-shaping: each must split the key.
+	vary := []url.Values{
+		{"dataset": {"d"}, "epsilon": {"0.1"}},
+		{"dataset": {"d"}, "epsilon": {"0.05"}, "conf": {"0.99"}},
+		{"dataset": {"d"}, "epsilon": {"0.05"}, "seed": {"7"}},
+		{"dataset": {"d"}, "epsilon": {"0.05"}, "samples": {"100"}},
+	}
+	seen := map[string]bool{exact.Key(): true, req.Key(): true}
+	for _, q := range vary {
+		r, _, err := ParseRequest(KindStar4, q)
+		if err != nil {
+			t.Fatalf("ParseRequest(%v): %v", q, err)
+		}
+		if seen[r.Key()] {
+			t.Errorf("key collision for %v: %q", q, r.Key())
+		}
+		seen[r.Key()] = true
+	}
+	for _, bad := range []struct {
+		kind Kind
+		q    url.Values
+	}{
+		{KindCount, url.Values{"dataset": {"d"}, "epsilon": {"0.05"}}},
+		{KindSig, url.Values{"dataset": {"d"}, "epsilon": {"0.05"}}},
+		{KindStar4, url.Values{"dataset": {"d"}, "conf": {"0.95"}}}, // conf without epsilon
+		{KindStar4, url.Values{"dataset": {"d"}, "epsilon": {"0"}}},
+		{KindStar4, url.Values{"dataset": {"d"}, "epsilon": {"1"}}},
+		{KindStar4, url.Values{"dataset": {"d"}, "epsilon": {"1.5"}}},
+		{KindStar4, url.Values{"dataset": {"d"}, "epsilon": {"NaN"}}},
+		{KindStar4, url.Values{"dataset": {"d"}, "epsilon": {"abc"}}},
+		{KindStar4, url.Values{"dataset": {"d"}, "epsilon": {"0.05"}, "conf": {"1.0"}}},
+		{KindStar4, url.Values{"dataset": {"d"}, "epsilon": {"0.05"}, "samples": {"-1"}}},
+		{KindPath4, url.Values{"dataset": {"d"}, "samples": {"10"}}}, // samples without epsilon
+		{KindPath4, url.Values{"dataset": {"d"}, "seed": {"3"}}},     // seed without epsilon
+	} {
+		if _, _, err := ParseRequest(bad.kind, bad.q); err == nil {
+			t.Errorf("ParseRequest(%s, %v): want error", bad.kind, bad.q)
+		}
+	}
+}
+
+// TestApproxEndpoints drives epsilon= through the handler: the approx
+// fields appear with the estimate and interval, the exact response carries
+// none of them, and exact and approx answers occupy distinct cache
+// entries.
+func TestApproxEndpoints(t *testing.T) {
+	s, fb := newTestServer(t, Options{WorkerBudget: 2})
+	code, body := get(t, s, "/v1/star4?dataset=tiny&delta=100&epsilon=0.05")
+	if code != http.StatusOK {
+		t.Fatalf("approx star4 status = %d: %v", code, body)
+	}
+	if body["approx"] != true {
+		t.Fatalf("approx flag missing: %v", body)
+	}
+	if got := body["estimate"].(float64); got != 200 { // fakeBackend: delta*2
+		t.Fatalf("estimate = %v, want 200", got)
+	}
+	if lo, hi := body["ci_low"].(float64), body["ci_high"].(float64); lo != 199 || hi != 201 {
+		t.Fatalf("interval = [%v, %v], want [199, 201]", lo, hi)
+	}
+	if got := body["total"].(float64); got != 200 {
+		t.Fatalf("rounded total = %v, want 200", got)
+	}
+	if body["epsilon"].(float64) != 0.05 || body["confidence"].(float64) != 0.95 {
+		t.Fatalf("knob echo = %v/%v", body["epsilon"], body["confidence"])
+	}
+	if body["approx_samples"].(float64) != 5 || body["approx_strata"].(float64) != 2 || body["approx_exact_strata"].(float64) != 1 {
+		t.Fatalf("telemetry = %v/%v/%v", body["approx_samples"], body["approx_strata"], body["approx_exact_strata"])
+	}
+	// Exact mode: none of the approx keys may appear in the response.
+	code, body = get(t, s, "/v1/star4?dataset=tiny&delta=100")
+	if code != http.StatusOK {
+		t.Fatalf("exact star4 status = %d", code)
+	}
+	for _, k := range []string{"approx", "epsilon", "confidence", "estimate", "ci_low", "ci_high", "intervals", "approx_samples", "approx_strata", "approx_exact_strata"} {
+		if _, present := body[k]; present {
+			t.Errorf("exact response leaked approx field %q", k)
+		}
+	}
+	if got := fb.calls.Load(); got != 2 {
+		t.Fatalf("backend ran %d times, want 2 (approx and exact are distinct cache entries)", got)
+	}
+	// Repeating the approx request hits its cache entry.
+	code, body = get(t, s, "/v1/star4?dataset=tiny&delta=100&epsilon=0.05")
+	if code != http.StatusOK || !body["cached"].(bool) {
+		t.Fatalf("approx repeat missed cache: %d %v", code, body)
+	}
+	// Approx path4 and query route to their backend methods and render the
+	// same envelope shape.
+	code, body = get(t, s, "/v1/path4?dataset=tiny&delta=100&epsilon=0.1&conf=0.9&seed=4")
+	if code != http.StatusOK || body["estimate"].(float64) != 300 {
+		t.Fatalf("approx path4 = %d %v", code, body)
+	}
+	if body["epsilon"].(float64) != 0.1 || body["confidence"].(float64) != 0.9 {
+		t.Fatalf("path4 knob echo = %v/%v", body["epsilon"], body["confidence"])
+	}
+	code, body = get(t, s, "/v1/query?dataset=tiny&delta=100&spec=a-%3Eb,b-%3Ec,c-%3Ea&epsilon=0.05")
+	if code != http.StatusOK || body["estimate"].(float64) != 500 {
+		t.Fatalf("approx query = %d %v", code, body)
+	}
+	if body["spec"].(string) != "a->b; b->c; c->a" || body["pivot"].(string) != "edge" {
+		t.Fatalf("approx query spec echo = %v/%v", body["spec"], body["pivot"])
+	}
+	// Knob rejections surface as 400s at the endpoint.
+	for _, path := range []string{
+		"/v1/count?dataset=tiny&epsilon=0.05",
+		"/v1/sig?dataset=tiny&epsilon=0.05",
+		"/v1/star4?dataset=tiny&conf=0.95",
+		"/v1/star4?dataset=tiny&epsilon=2",
+	} {
+		if code, body := get(t, s, path); code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400 (%v)", path, code, body)
+		}
 	}
 }
 

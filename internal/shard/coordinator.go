@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"hare/internal/approx"
 	"hare/internal/engine"
 	"hare/internal/higher"
 	"hare/internal/nullmodel"
@@ -137,6 +138,62 @@ func (c *Coordinator) Query(ctx context.Context, g *temporal.Graph, req server.R
 		return 0, err
 	}
 	return gather.MergeQuery()
+}
+
+// approxScatter runs one approximate-mode query: build the sampling plan
+// locally, scatter contiguous stratum-index ranges across the fleet (one
+// range per peer, like every range kind), and finish the gathered moments
+// against the local plan. Workers rebuild the identical plan from the
+// knobs on the wire, so the finished result is bit-identical to the
+// in-process backend at any fleet size (docs/APPROX.md).
+func (c *Coordinator) approxScatter(ctx context.Context, g *temporal.Graph, req server.Request, kind server.Kind, k approx.Kernel) (*approx.Result, error) {
+	plan, err := approx.NewPlan(g, k, approx.Options{
+		Epsilon:    req.Epsilon,
+		Confidence: req.Conf,
+		Seed:       req.Seed,
+		Samples:    req.Samples,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ranges := Ranges(len(plan.Strata), len(c.client.peers))
+	tasks := make([]task, len(ranges))
+	for i, r := range ranges {
+		s := sub(req, g, i, len(ranges), r.Lo, r.Hi)
+		s.Kind = kind
+		s.Epsilon, s.Conf, s.Samples = req.Epsilon, req.Conf, req.Samples
+		tasks[i] = task{sub: s, home: i}
+	}
+	if len(tasks) == 0 {
+		// Empty domain: the plan has no strata and the finish is the
+		// all-zero estimate, same as a local run on the empty graph.
+		return approx.Finish(plan, nil)
+	}
+	gather, err := c.client.scatter(ctx, tasks)
+	if err != nil {
+		return nil, err
+	}
+	return gather.MergeApprox(plan)
+}
+
+// Star4Approx scatters stratum ranges of the star sampling plan.
+func (c *Coordinator) Star4Approx(ctx context.Context, g *temporal.Graph, req server.Request) (*approx.Result, error) {
+	return c.approxScatter(ctx, g, req, KindStar4Approx, approx.StarKernel{})
+}
+
+// Path4Approx scatters stratum ranges of the path sampling plan.
+func (c *Coordinator) Path4Approx(ctx context.Context, g *temporal.Graph, req server.Request) (*approx.Result, error) {
+	return c.approxScatter(ctx, g, req, KindPath4Approx, approx.PathKernel{})
+}
+
+// QueryApprox compiles the (already canonical) spec and scatters stratum
+// ranges of its plan-kernel sampling plan.
+func (c *Coordinator) QueryApprox(ctx context.Context, g *temporal.Graph, req server.Request) (*approx.Result, error) {
+	spec, err := query.ParseSpec(req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	return c.approxScatter(ctx, g, req, KindQueryApprox, approx.PlanKernel{Plan: query.Compile(spec)})
 }
 
 // Significance counts the real graph locally (the coordinator holds a

@@ -119,6 +119,13 @@ var e2eQueries = []string{
 	// strings; %3E is ">".)
 	"/v1/query?dataset=college&delta=600&spec=a-%3Eb,a-%3Ec,a-%3Ed",
 	"/v1/query?dataset=college&delta=600&spec=a-%3Eb,b-%3Ec,c-%3Ea",
+	// Approximate mode: the coordinator scatters stratum-index ranges,
+	// workers rebuild the identical sampling plan from the wire knobs and
+	// return raw moments, and the gathered finish — estimate, intervals,
+	// telemetry — must byte-match the single node's (docs/APPROX.md).
+	"/v1/star4?dataset=college&delta=600&epsilon=0.05&seed=7",
+	"/v1/path4?dataset=college&delta=600&epsilon=0.1&conf=0.99&seed=7",
+	"/v1/query?dataset=college&delta=600&spec=a-%3Eb,b-%3Ec,c-%3Ed&epsilon=0.05&seed=7",
 }
 
 // TestClusterBitIdenticalAcrossWorkerCounts is the acceptance test: every

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"hare/internal/approx"
 	"hare/internal/engine"
 	"hare/internal/higher"
 	"hare/internal/motif"
@@ -68,6 +69,18 @@ func (countBackend) Significance(context.Context, *temporal.Graph, server.Reques
 
 func (countBackend) Query(context.Context, *temporal.Graph, server.Request) (uint64, error) {
 	return 0, errors.New("unused")
+}
+
+func (countBackend) Star4Approx(context.Context, *temporal.Graph, server.Request) (*approx.Result, error) {
+	return nil, errors.New("unused")
+}
+
+func (countBackend) Path4Approx(context.Context, *temporal.Graph, server.Request) (*approx.Result, error) {
+	return nil, errors.New("unused")
+}
+
+func (countBackend) QueryApprox(context.Context, *temporal.Graph, server.Request) (*approx.Result, error) {
+	return nil, errors.New("unused")
 }
 
 // liveWorker boots a real shard worker over g.

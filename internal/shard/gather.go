@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hare/internal/approx"
 	"hare/internal/higher"
 	"hare/internal/motif"
 	"hare/internal/nullmodel"
@@ -56,6 +57,8 @@ func (g *Gather) Add(p *Partial) error {
 		ok = p.Sig != nil
 	case server.KindQuery:
 		ok = p.Query != nil
+	case KindStar4Approx, KindPath4Approx, KindQueryApprox:
+		ok = p.Approx != nil
 	}
 	if !ok {
 		return fmt.Errorf("shard: partial for shard %d carries no %s payload", p.Shard, g.kind)
@@ -144,6 +147,24 @@ func (g *Gather) MergeQuery() (uint64, error) {
 		total += *p.Query
 	}
 	return total, nil
+}
+
+// MergeApprox concatenates the per-stratum moments in shard order —
+// recovering exactly the stratum order a single process would have
+// produced, because the scatter ranges are contiguous and ascending — and
+// finishes against the coordinator's plan. Finish re-validates every
+// stratum's draw count and exactness against the plan, so a worker whose
+// replica rebuilt a different plan fails the merge loudly instead of
+// contributing silently-wrong moments.
+func (g *Gather) MergeApprox(plan *approx.Plan) (*approx.Result, error) {
+	if !g.Complete() {
+		return nil, g.incomplete()
+	}
+	var moments []approx.Moments
+	for _, p := range g.parts {
+		moments = append(moments, p.Approx...)
+	}
+	return approx.Finish(plan, moments)
 }
 
 // MergeSig concatenates the raw per-sample matrices in shard order —

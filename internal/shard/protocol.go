@@ -26,6 +26,7 @@ package shard
 import (
 	"fmt"
 
+	"hare/internal/approx"
 	"hare/internal/higher"
 	"hare/internal/motif"
 	"hare/internal/server"
@@ -42,6 +43,19 @@ const ProtoVersion = 1
 const (
 	PathCompute = "/shard/v1/compute"
 	PathInfo    = "/shard/v1/info"
+)
+
+// Wire-only kinds for approximate-mode scatter (docs/APPROX.md). The
+// coordinator rebuilds the sampling plan worker-side from the knobs on the
+// wire and scatters contiguous ranges of *stratum indices* (not pivot
+// IDs); each worker samples its strata with the plan's per-stratum seeded
+// streams and returns raw moments, so the gathered finish is bit-identical
+// to a local run. Additive within ProtoVersion 1: an older worker answers
+// 400 unknown kind, never a wrong partial.
+const (
+	KindStar4Approx server.Kind = "star4approx"
+	KindPath4Approx server.Kind = "path4approx"
+	KindQueryApprox server.Kind = "queryapprox"
 )
 
 // SubRequest is one shard's slice of a query: the kind plus the work
@@ -88,6 +102,13 @@ type SubRequest struct {
 	// was additive — older workers answer 400 unknown kind, not a wrong
 	// partial — so ProtoVersion stayed at 1.
 	Spec string `json:"spec,omitempty"`
+	// Epsilon, Conf and Samples are the estimator knobs of the approx
+	// kinds; with Seed (shared with sig) they determine the sampling plan
+	// every end rebuilds identically. Lo/Hi then range over stratum
+	// indices. Spec rides along for queryapprox.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Conf    float64 `json:"conf,omitempty"`
+	Samples int     `json:"samples,omitempty"`
 }
 
 // CountPartial is a count sub-request's answer: the full (possibly
@@ -115,6 +136,10 @@ type Partial struct {
 	Path4 *higher.PathCounter  `json:"path4,omitempty"`
 	Sig   []motif.Matrix       `json:"sig,omitempty"`
 	Query *uint64              `json:"query,omitempty"`
+	// Approx carries the per-stratum moments for strata [lo, hi), in
+	// stratum order. Floats round-trip JSON exactly (shortest-repr
+	// encoding), so a remote finish equals a local one bit for bit.
+	Approx []approx.Moments `json:"approx,omitempty"`
 }
 
 // Info is a worker's /shard/v1/info self-description, used by operators
@@ -151,14 +176,14 @@ func (s *SubRequest) validate() error {
 	}
 	switch s.Kind {
 	case server.KindCount:
-	case server.KindQuery:
+	case server.KindQuery, KindQueryApprox:
 		if s.Spec == "" {
 			return fmt.Errorf("shard: query sub-request missing spec")
 		}
 		if s.Lo < 0 || s.Hi < s.Lo {
 			return fmt.Errorf("shard: invalid range [%d, %d)", s.Lo, s.Hi)
 		}
-	case server.KindStar4, server.KindPath4, server.KindSig:
+	case server.KindStar4, server.KindPath4, server.KindSig, KindStar4Approx, KindPath4Approx:
 		if s.Lo < 0 || s.Hi < s.Lo {
 			return fmt.Errorf("shard: invalid range [%d, %d)", s.Lo, s.Hi)
 		}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"hare/internal/approx"
 	"hare/internal/higher"
 	"hare/internal/nullmodel"
 	"hare/internal/query"
@@ -125,6 +126,32 @@ func (w *Worker) handleCompute(rw http.ResponseWriter, r *http.Request) {
 		}
 		n := query.Compile(spec).ExecuteRange(g, delta, w.higherOpts(sub), sub.Lo, sub.Hi)
 		p.Query = &n
+	case KindStar4Approx:
+		ms, err := approxMoments(g, delta, sub, approx.StarKernel{})
+		if err != nil {
+			writeWireError(rw, http.StatusBadRequest, err, ProtoVersion)
+			return
+		}
+		p.Approx = ms
+	case KindPath4Approx:
+		ms, err := approxMoments(g, delta, sub, approx.PathKernel{})
+		if err != nil {
+			writeWireError(rw, http.StatusBadRequest, err, ProtoVersion)
+			return
+		}
+		p.Approx = ms
+	case KindQueryApprox:
+		spec, err := query.ParseSpec(sub.Spec)
+		if err != nil {
+			writeWireError(rw, http.StatusBadRequest, err, ProtoVersion)
+			return
+		}
+		ms, err := approxMoments(g, delta, sub, approx.PlanKernel{Plan: query.Compile(spec)})
+		if err != nil {
+			writeWireError(rw, http.StatusBadRequest, err, ProtoVersion)
+			return
+		}
+		p.Approx = ms
 	case server.KindSig:
 		model, err := nullmodel.ParseModel(sub.Model)
 		if err != nil {
@@ -140,6 +167,28 @@ func (w *Worker) handleCompute(rw http.ResponseWriter, r *http.Request) {
 	}
 	rw.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(rw).Encode(&p)
+}
+
+// approxMoments rebuilds the sampling plan from the wire knobs — the plan
+// is a pure function of (graph, knobs), so this worker's plan is
+// byte-identical to the coordinator's — and samples the stratum range the
+// sub-request owns. The raw moments go back over the wire; only the
+// coordinator finishes.
+func approxMoments(g *temporal.Graph, delta temporal.Timestamp, sub SubRequest, k approx.Kernel) ([]approx.Moments, error) {
+	plan, err := approx.NewPlan(g, k, approx.Options{
+		Epsilon:    sub.Epsilon,
+		Confidence: sub.Conf,
+		Seed:       sub.Seed,
+		Samples:    sub.Samples,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sub.Hi > len(plan.Strata) {
+		return nil, fmt.Errorf("shard: stratum range [%d, %d) exceeds plan's %d strata (plan drift)",
+			sub.Lo, sub.Hi, len(plan.Strata))
+	}
+	return approx.EstimateStrata(g, k, delta, plan, sub.Workers, sub.Lo, sub.Hi), nil
 }
 
 // higherOpts maps a sub-request's scheduling hints onto the higher-order

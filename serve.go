@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"hare/internal/approx"
 	"hare/internal/higher"
 	"hare/internal/live"
 	"hare/internal/nullmodel"
@@ -155,6 +156,35 @@ func (b libraryBackend) Query(_ context.Context, g *temporal.Graph, req server.R
 		return 0, err
 	}
 	return CountMotif(g, spec, Timestamp(req.Delta), b.options(req)...)
+}
+
+// approxOptions maps a normalized approx-mode request onto the estimator
+// knobs. Workers is the admission weight the server resolved — a resource
+// hint only, never part of the answer.
+func approxOptions(req server.Request) ApproxOptions {
+	return ApproxOptions{
+		Epsilon:    req.Epsilon,
+		Confidence: req.Conf,
+		Seed:       req.Seed,
+		Samples:    req.Samples,
+		Workers:    req.Workers,
+	}
+}
+
+func (b libraryBackend) Star4Approx(_ context.Context, g *temporal.Graph, req server.Request) (*approx.Result, error) {
+	return CountStar4Approx(g, Timestamp(req.Delta), approxOptions(req))
+}
+
+func (b libraryBackend) Path4Approx(_ context.Context, g *temporal.Graph, req server.Request) (*approx.Result, error) {
+	return CountPath4Approx(g, Timestamp(req.Delta), approxOptions(req))
+}
+
+func (b libraryBackend) QueryApprox(_ context.Context, g *temporal.Graph, req server.Request) (*approx.Result, error) {
+	spec, err := ParseSpec(req.Spec) // canonical after normalize; reparse is cheap
+	if err != nil {
+		return nil, err
+	}
+	return CountMotifApprox(g, spec, Timestamp(req.Delta), approxOptions(req))
 }
 
 func (b libraryBackend) Significance(_ context.Context, g *temporal.Graph, req server.Request) (*nullmodel.Report, error) {
